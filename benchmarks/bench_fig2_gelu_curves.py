@@ -1,0 +1,92 @@
+"""Fig. 2 — GELU transfer curves of the four implementation families.
+
+The paper plots GELU as computed by (a) an FSM-based design, (b) a 4-term
+Bernstein polynomial, (c) naive SI and (d) the proposed gate-assisted SI,
+each at two bitstream lengths.  This bench regenerates the same curves over
+the same input range (x in [-3, 0.5]) and reports, per design and BSL, the
+mean absolute deviation from the exact GELU over that range — the quantity
+the figure lets the reader eyeball.
+
+Expected shape (matching the figure): the FSM design saturates at zero over
+the negative range even at 1024 bits; the Bernstein unit fluctuates; naive
+SI misses the negative dip entirely; gate-assisted SI tracks the quantised
+GELU exactly, improving as the BSL grows.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core.gelu_si import GeluSIBlock
+from repro.nn.functional_math import gelu_exact
+from repro.sc.bernstein import BernsteinPolynomialUnit
+from repro.sc.fsm import FsmGeluUnit
+from repro.sc.selective_interconnect import NaiveSelectiveInterconnect
+
+SWEEP = np.linspace(-3.0, 0.5, 141)
+
+
+#: Region where GELU's negative dip lives; the figure's qualitative story is
+#: about how each design behaves there.
+DIP_REGION = (SWEEP > -1.8) & (SWEEP < -0.3)
+
+
+def _fig2_rows():
+    reference = gelu_exact(SWEEP)
+    rows = []
+
+    def add(design, bsl, out):
+        rows.append(
+            (
+                design,
+                bsl,
+                float(np.mean(np.abs(out - reference))),
+                float(np.mean(out[DIP_REGION])),
+            )
+        )
+
+    fsm = FsmGeluUnit()
+    for bsl in (128, 1024):
+        add("FSM [9]", bsl, fsm.evaluate(SWEEP, bitstream_length=bsl, seed=0, input_scale=4.0))
+
+    for bsl in (128, 1024):
+        unit = BernsteinPolynomialUnit(gelu_exact, num_terms=4, input_range=3.0)
+        add("4-term Bernstein [18]", bsl, unit.evaluate(SWEEP, bitstream_length=bsl, seed=0))
+
+    for bsl in (4, 8):
+        naive = NaiveSelectiveInterconnect(
+            gelu_exact, input_length=32 * bsl, input_scale=8.0 / (32 * bsl), output_length=bsl, output_scale=1.2 / bsl
+        )
+        add("Naive SI [5]", bsl, naive.evaluate(SWEEP))
+
+    for bsl in (4, 8):
+        block = GeluSIBlock(output_length=bsl, calibration_samples=SWEEP)
+        add("Gate-assisted SI (ours)", bsl, block.evaluate(SWEEP))
+
+    return rows
+
+
+def test_fig2_gelu_curves(benchmark):
+    rows = benchmark(_fig2_rows)
+    emit(
+        "fig2_gelu_curves",
+        ["Design", "BSL", "MAE on [-3, 0.5]", "mean output in dip region"],
+        rows,
+        extra={"sweep": SWEEP.tolist()},
+    )
+    by_design = {}
+    for design, bsl, mae, dip_mean in rows:
+        by_design.setdefault(design, []).append((bsl, mae, dip_mean))
+
+    dip_reference = float(np.mean(gelu_exact(SWEEP)[DIP_REGION]))  # about -0.14
+    assert dip_reference < -0.1
+
+    # Fig. 2(a)/(c): the FSM and naive-SI outputs sit around zero in the dip
+    # region (systematic error); (d): gate-assisted SI follows the dip.
+    assert all(dip_mean > dip_reference / 2 for _, _, dip_mean in by_design["FSM [9]"])
+    assert all(dip_mean > dip_reference / 2 for _, _, dip_mean in by_design["Naive SI [5]"])
+    assert any(dip_mean < dip_reference / 2 for _, _, dip_mean in by_design["Gate-assisted SI (ours)"])
+
+    # Ours at 8-bit BSL is the most accurate design in the comparison.
+    ours_best = min(mae for _, mae, _ in by_design["Gate-assisted SI (ours)"])
+    for design in ("FSM [9]", "4-term Bernstein [18]", "Naive SI [5]"):
+        assert ours_best < min(mae for _, mae, _ in by_design[design])

@@ -1,0 +1,95 @@
+"""Table VI — accelerator-level area and accuracy across softmax configurations.
+
+The paper selects four softmax-block configurations [By, s1, s2, k] along the
+Pareto front, instantiates k parallel blocks in the accelerator and reports
+the softmax area, the total accelerator area and the resulting CIFAR-10/100
+accuracy.  The recommendation ([8, 32, 8, 3]) is the smallest configuration
+whose accuracy stays above the 90% band.
+
+This bench reproduces the structure: the four configurations are evaluated
+for (a) softmax-block area and total accelerator area through the hardware
+model sized for the paper's 7-layer/4-head ViT, and (b) accuracy by running
+the trained SC-friendly ViT (shared fixture) with the softmax circuit
+emulated bit-accurately inside every attention head.
+
+Expected shape: the softmax block is a small fraction of the accelerator for
+the smallest configuration and grows by more than an order of magnitude
+towards the largest one, while accuracy improves only modestly — which is
+exactly why the intermediate configuration is the recommended one.
+"""
+
+import numpy as np
+from conftest import bench_scale, emit
+
+from repro.core.accelerator import AcceleratorConfig, AscendAccelerator, ViTArchitecture, recommend_configuration
+from repro.core.sc_vit import ScViTEvaluator
+from repro.core.softmax_circuit import SoftmaxCircuitConfig, calibrate_alpha_y
+
+#: The four Table VI configurations: [By, s1, s2, k].
+CONFIGURATIONS = ((4, 128, 2, 2), (8, 32, 8, 3), (16, 128, 16, 4), (32, 128, 16, 4))
+
+
+def _softmax_config(by, s1, s2, k, m=64):
+    return SoftmaxCircuitConfig(
+        m=m, iterations=k, bx=4, alpha_x=2.0, by=by, alpha_y=calibrate_alpha_y(by, m), s1=s1, s2=s2
+    )
+
+
+def test_table6_accelerator(benchmark, trained_pipeline_result):
+    result = trained_pipeline_result["result"]
+    test = trained_pipeline_result["test"]
+    model = result.final_model
+    max_images = {"small": 64, "default": 256, "full": len(test)}[bench_scale()]
+
+    def run():
+        rows = []
+        accuracies = []
+        accel_configs = []
+        for by, s1, s2, k in CONFIGURATIONS:
+            softmax = _softmax_config(by, s1, s2, k)
+            accel_config = AcceleratorConfig(architecture=ViTArchitecture(), softmax=softmax)
+            accelerator = AscendAccelerator(accel_config)
+            breakdown = accelerator.area_breakdown()
+            block_area = accelerator.softmax_block_report().area_um2
+
+            evaluator = ScViTEvaluator(
+                model, softmax, calibration_images=test.images[:32], calibrate=True
+            )
+            accuracy = evaluator.evaluate(test, max_images=max_images).accuracy
+
+            accel_configs.append(accel_config)
+            accuracies.append(accuracy)
+            rows.append(
+                (
+                    f"[{by}, {s1}, {s2}, {k}]",
+                    block_area,
+                    breakdown["total"],
+                    round(100 * breakdown["softmax_fraction"], 2),
+                    round(accuracy, 2),
+                )
+            )
+        recommended = recommend_configuration(accel_configs, accuracies, accuracy_floor=np.median(accuracies))
+        return rows, recommended
+
+    rows, recommended = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "table6_accelerator",
+        ["[By, s1, s2, k]", "Softmax area (um2)", "Accelerator area (um2)", "Softmax share (%)", "Accuracy (%)"],
+        rows,
+        extra={"recommended_index": recommended, "recommended_config": rows[recommended][0]},
+    )
+
+    softmax_areas = [row[1] for row in rows]
+    totals = [row[2] for row in rows]
+    fractions = [row[3] for row in rows]
+
+    # Softmax block area grows by more than an order of magnitude across the
+    # Pareto configurations, dragging the total accelerator area with it.
+    assert softmax_areas == sorted(softmax_areas)
+    assert softmax_areas[-1] / softmax_areas[0] > 10
+    assert totals == sorted(totals)
+    # The smallest configuration keeps softmax a minor cost; the largest does not.
+    assert fractions[0] < 15.0
+    assert fractions[-1] > 30.0
+    # The recommended configuration is never the most expensive one.
+    assert recommended < len(rows) - 1

@@ -1,0 +1,93 @@
+"""Scenario: choosing a GELU circuit for an SC accelerator (Fig. 2 / Table III).
+
+A hardware designer wants a GELU unit for an end-to-end SC ViT accelerator
+and compares the three published families against ASCEND's gate-assisted SI
+on the operand distribution of a real (trained or untrained) compact ViT:
+
+* FSM-based unit — saturates at zero over the negative range,
+* Bernstein-polynomial unit — approximation error + random fluctuation,
+* naive selective interconnect — monotone envelope only,
+* gate-assisted SI — deterministic, exact up to the output grid.
+
+The script prints the Fig. 2-style error summary over the plotted range and
+the Table III-style cost/error table, then emits the transfer curves as CSV
+so they can be plotted with any tool.
+
+Run with:  python examples/gelu_circuit_comparison.py
+"""
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import GeluSIBlock
+from repro.evaluation import gelu_input_vectors
+from repro.hw import synthesize
+from repro.nn.functional_math import gelu_exact
+from repro.sc import BernsteinPolynomialUnit, FsmGeluUnit, NaiveSelectiveInterconnect
+
+OUTPUT_CSV = Path(__file__).parent / "gelu_transfer_curves.csv"
+
+
+def transfer_curves(sweep):
+    """Compute every design's transfer curve over ``sweep`` (Fig. 2)."""
+    curves = {"input": sweep, "exact_gelu": gelu_exact(sweep)}
+    fsm = FsmGeluUnit()
+    for bsl in (128, 1024):
+        curves[f"fsm_{bsl}b"] = fsm.evaluate(sweep, bitstream_length=bsl, seed=0, input_scale=4.0)
+    bernstein = BernsteinPolynomialUnit(gelu_exact, num_terms=4, input_range=3.0)
+    for bsl in (128, 1024):
+        curves[f"bernstein4_{bsl}b"] = bernstein.evaluate(sweep, bitstream_length=bsl, seed=0)
+    for bsl in (4, 8):
+        naive = NaiveSelectiveInterconnect(gelu_exact, 32 * bsl, 8.0 / (32 * bsl), bsl, 1.2 / bsl)
+        curves[f"naive_si_{bsl}b"] = naive.evaluate(sweep)
+    for bsl in (4, 8):
+        ours = GeluSIBlock(output_length=bsl, calibration_samples=sweep)
+        curves[f"gate_assisted_si_{bsl}b"] = ours.evaluate(sweep)
+    return curves
+
+
+def cost_error_table(samples):
+    """Table III: synthesis cost and MAE on the ViT operand distribution."""
+    reference = gelu_exact(samples)
+    rows = []
+    for terms in (4, 5, 6):
+        unit = BernsteinPolynomialUnit(gelu_exact, num_terms=terms, input_range=3.0)
+        report = synthesize(unit.build_hardware(1024))
+        mae = np.mean(np.abs(unit.evaluate(samples[:2000], 1024, seed=terms) - reference[:2000]))
+        rows.append((f"Bernstein {terms}-term @1024b", report.area_um2, report.delay_ns, report.adp, mae))
+    for bsl in (2, 4, 8):
+        block = GeluSIBlock(output_length=bsl, calibration_samples=samples)
+        report = synthesize(block.build_hardware())
+        mae = np.mean(np.abs(block.evaluate(samples) - reference))
+        rows.append((f"Gate-assisted SI {bsl}b", report.area_um2, report.delay_ns, report.adp, mae))
+    return rows
+
+
+def main():
+    sweep = np.linspace(-3.0, 0.5, 141)
+    curves = transfer_curves(sweep)
+    reference = curves["exact_gelu"]
+    print("Fig. 2 — mean |error| against exact GELU on x in [-3, 0.5]:")
+    for name, values in curves.items():
+        if name in ("input", "exact_gelu"):
+            continue
+        print(f"  {name:24s} {np.mean(np.abs(values - reference)):.4f}")
+
+    with OUTPUT_CSV.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(curves))
+        for idx in range(len(sweep)):
+            writer.writerow([f"{curves[c][idx]:.6f}" for c in curves])
+    print(f"\ntransfer curves written to {OUTPUT_CSV}")
+
+    samples = gelu_input_vectors(8000, seed=3)
+    print("\nTable III — cost and error on the ViT GELU operand distribution:")
+    print(f"{'design':28s} {'area um^2':>10s} {'delay ns':>9s} {'ADP':>10s} {'MAE':>8s}")
+    for name, area, delay, adp, mae in cost_error_table(samples):
+        print(f"{name:28s} {area:10.1f} {delay:9.3f} {adp:10.1f} {mae:8.4f}")
+
+
+if __name__ == "__main__":
+    main()

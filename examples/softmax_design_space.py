@@ -1,0 +1,94 @@
+"""Scenario: picking a softmax block along the Pareto front (Table IV / Fig. 8).
+
+An accelerator architect needs an attention-softmax block for m = 64 tokens
+and wants the cheapest design that stays within an error budget.  The script
+
+1. compares the FSM baseline against the iterative approximate softmax at
+   the Table IV operating points,
+2. sweeps the Table II parameter grid (a reduced grid by default; pass
+   ``--full`` for the paper's 2916-design sweep),
+3. extracts the Pareto front, prints it, and picks a design under an MAE
+   budget.
+
+Run with:  python examples/softmax_design_space.py [--full] [--budget 0.08]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import (
+    FsmSoftmaxBaseline,
+    IterativeSoftmaxCircuit,
+    SoftmaxCircuitConfig,
+    SoftmaxDesignSpace,
+    calibrate_alpha_x,
+    calibrate_alpha_y,
+)
+from repro.evaluation import attention_logit_vectors
+from repro.hw import synthesize
+
+
+def table4_comparison(logits):
+    print("Table IV — softmax block comparison (m = 64):")
+    print(f"{'design':20s} {'area um^2':>12s} {'delay ns':>9s} {'ADP':>12s} {'MAE':>8s}")
+    for bsl in (128, 256, 1024):
+        baseline = FsmSoftmaxBaseline(m=64, bitstream_length=bsl, seed=bsl)
+        report = synthesize(baseline.build_hardware())
+        print(f"{'FSM ' + str(bsl) + 'b':20s} {report.area_um2:12.3g} {report.delay_ns:9.1f} "
+              f"{report.adp:12.3g} {baseline.mean_absolute_error(logits):8.4f}")
+    alpha_x = calibrate_alpha_x(logits, 4)
+    for by in (4, 8, 16):
+        config = SoftmaxCircuitConfig(
+            m=64, iterations=3, bx=4, alpha_x=alpha_x, by=by, alpha_y=calibrate_alpha_y(by, 64), s1=32, s2=8
+        )
+        circuit = IterativeSoftmaxCircuit(config)
+        report = synthesize(circuit.build_hardware())
+        print(f"{'Ours By=' + str(by):20s} {report.area_um2:12.3g} {report.delay_ns:9.1f} "
+              f"{report.adp:12.3g} {circuit.mean_absolute_error(logits):8.4f}")
+
+
+def explore(logits, full, budget):
+    if full:
+        space = SoftmaxDesignSpace(bx=4, test_vectors=logits[:100])
+    else:
+        space = SoftmaxDesignSpace(
+            bx=4,
+            test_vectors=logits[:64],
+            by_choices=(4, 8, 16, 32),
+            iteration_choices=(2, 3),
+            s1_choices=(8, 32, 128),
+            s2_choices=(2, 8, 32),
+            alpha_y_multipliers=(0.5, 1.0),
+        )
+    print(f"\nFig. 8 — exploring {space.grid_size()} candidate designs (Bx = 4)...")
+    points = space.explore()
+    pareto = space.pareto_points(points)
+    print(f"feasible designs: {sum(p.feasible for p in points)}, Pareto optima: {len(pareto)}")
+    print(f"{'[By, s1, s2, k]':18s} {'ADP':>12s} {'MAE':>8s}")
+    for point in pareto:
+        print(f"{point.config.describe():18s} {point.adp:12.3g} {point.mae:8.4f}")
+
+    within = [p for p in pareto if p.mae <= budget]
+    if within:
+        chosen = min(within, key=lambda p: p.adp)
+        print(f"\nchosen design under MAE budget {budget}: {chosen.config.describe()} "
+              f"(ADP {chosen.adp:.3g}, MAE {chosen.mae:.4f})")
+    else:
+        chosen = min(pareto, key=lambda p: p.mae)
+        print(f"\nno design meets the MAE budget {budget}; most accurate is {chosen.config.describe()}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="sweep the full 2916-design grid")
+    parser.add_argument("--budget", type=float, default=0.08, help="MAE budget for the design choice")
+    args = parser.parse_args()
+
+    logits = attention_logit_vectors(200, 64, seed=7)
+    table4_comparison(logits)
+    explore(logits, args.full, args.budget)
+
+
+if __name__ == "__main__":
+    main()

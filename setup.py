@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The project is fully described by ``pyproject.toml``; this shim exists so
+that editable installs also work on minimal environments that lack the
+``wheel`` package (where PEP 660 editable wheels cannot be built).
+"""
+
+from setuptools import setup
+
+setup()

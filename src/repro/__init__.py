@@ -1,0 +1,24 @@
+"""ASCEND reproduction: end-to-end stochastic-computing acceleration of ViTs.
+
+The package mirrors the structure of the paper (DATE 2024):
+
+* :mod:`repro.sc` — the stochastic-computing substrate (encodings, bitstream
+  arithmetic, sorting networks, baseline nonlinear units),
+* :mod:`repro.hw` — the hardware cost model standing in for the paper's
+  Synopsys/TSMC 28 nm synthesis flow,
+* :mod:`repro.core` — ASCEND's contribution: the gate-assisted SI GELU, the
+  iterative approximate softmax circuit, the design-space exploration, the
+  accelerator model and the SC-friendly ViT,
+* :mod:`repro.nn` — a numpy autograd + ViT + LSQ quantisation substrate,
+* :mod:`repro.training` — datasets, trainer, knowledge distillation and the
+  two-stage training pipeline,
+* :mod:`repro.evaluation` — test vectors, error metrics, Pareto analysis and
+  report formatting.
+
+See ``DESIGN.md`` for the system inventory and the per-experiment index, and
+``EXPERIMENTS.md`` for measured-vs-paper results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "sc", "hw", "nn", "training", "evaluation", "utils", "__version__"]

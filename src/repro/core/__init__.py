@@ -1,0 +1,70 @@
+"""ASCEND's contribution: the circuit blocks, the DSE and the co-designed ViT.
+
+* :mod:`repro.core.gelu_si` — gate-assisted selective interconnect GELU
+  (Section IV-A, Fig. 2/4, Table III, Fig. 7),
+* :mod:`repro.core.softmax_iterative` — the iterative approximate softmax
+  algorithm (Algorithm 1) and its exact gradient,
+* :mod:`repro.core.softmax_circuit` — the SC circuit executing it on
+  thermometer bitstreams (Fig. 5, Table II, Table IV),
+* :mod:`repro.core.baselines` — the FSM softmax baseline and the Table I
+  capability matrix,
+* :mod:`repro.core.dse` — design-space exploration and Pareto fronts
+  (Fig. 8),
+* :mod:`repro.core.accelerator` — the end-to-end accelerator area model
+  (Table VI),
+* :mod:`repro.core.sc_vit` — the SC-friendly ViT whose nonlinearities are
+  the circuit models above (Section V),
+* :mod:`repro.core.codesign` — the circuit/network co-design driver
+  (Fig. 3).
+"""
+
+from repro.core.accelerator import (
+    AcceleratorConfig,
+    AscendAccelerator,
+    ViTArchitecture,
+    recommend_configuration,
+)
+from repro.core.baselines import FsmSoftmaxBaseline, ScDesignCapability, capability_matrix
+from repro.core.dse import DesignPoint, SoftmaxDesignSpace
+from repro.core.gelu_si import (
+    GateAssistedSIBlock,
+    GeluSIBlock,
+    TernaryGeluBlock,
+    calibrate_output_scale,
+)
+from repro.core.softmax_circuit import (
+    IterativeSoftmaxCircuit,
+    SoftmaxCircuitConfig,
+    calibrate_alpha_x,
+    calibrate_alpha_y,
+)
+from repro.core.softmax_iterative import IterativeSoftmax, IterativeSoftmaxResult
+from repro.core.sc_vit import ScViTEvaluator, ScViTEvaluationResult, evaluate_softmax_configurations
+from repro.core.codesign import CodesignDriver, CodesignReport
+
+__all__ = [
+    "ScViTEvaluator",
+    "ScViTEvaluationResult",
+    "evaluate_softmax_configurations",
+    "CodesignDriver",
+    "CodesignReport",
+    "AcceleratorConfig",
+    "AscendAccelerator",
+    "ViTArchitecture",
+    "recommend_configuration",
+    "FsmSoftmaxBaseline",
+    "ScDesignCapability",
+    "capability_matrix",
+    "DesignPoint",
+    "SoftmaxDesignSpace",
+    "GateAssistedSIBlock",
+    "GeluSIBlock",
+    "TernaryGeluBlock",
+    "calibrate_output_scale",
+    "IterativeSoftmaxCircuit",
+    "SoftmaxCircuitConfig",
+    "calibrate_alpha_x",
+    "calibrate_alpha_y",
+    "IterativeSoftmax",
+    "IterativeSoftmaxResult",
+]

@@ -1,0 +1,157 @@
+"""SC-friendly ViT: evaluating the trained network through the circuit models.
+
+The training pipeline produces a W2-A2-R16 BN-ViT that was fine-tuned
+against the *floating-point* iterative-softmax recurrence.  The accelerator,
+however, executes that recurrence on thermometer bitstreams with finite BSLs
+and sub-sampling — the circuit of Fig. 5 — and implements GELU with the
+gate-assisted SI block.  This module closes that gap: it evaluates a trained
+:class:`~repro.nn.vit.CompactVisionTransformer` while routing
+
+* every attention softmax through :class:`~repro.core.softmax_circuit.IterativeSoftmaxCircuit`
+  (bit-accurate emulation, per head-row), and
+* every GELU through a :class:`~repro.core.gelu_si.GeluSIBlock` lookup,
+
+which is what the accuracy column of Table VI measures for each softmax
+configuration ``[By, s1, s2, k]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.gelu_si import GeluSIBlock
+from repro.core.softmax_circuit import IterativeSoftmaxCircuit, SoftmaxCircuitConfig, calibrate_alpha_x
+from repro.nn.autograd import Tensor, no_grad
+from repro.nn import functional as F
+from repro.nn.vit import CompactVisionTransformer
+from repro.training.datasets import DatasetSplit
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class ScViTEvaluationResult:
+    """Accuracy of one circuit configuration on one dataset split."""
+
+    accuracy: float
+    softmax_config: SoftmaxCircuitConfig
+    gelu_output_bsl: Optional[int]
+    num_images: int
+
+
+class ScViTEvaluator:
+    """Runs a trained ViT with circuit-accurate softmax (and optionally GELU).
+
+    Parameters
+    ----------
+    model:
+        A trained compact ViT (typically the output of the training pipeline).
+    softmax_config:
+        The softmax circuit configuration to emulate.  ``m`` is overridden to
+        the model's token count and ``alpha_x`` is calibrated on the model's
+        own attention logits unless ``calibrate`` is disabled.
+    gelu_output_bsl:
+        When given, GELU activations are also routed through a gate-assisted
+        SI block of that output BSL; ``None`` keeps the exact GELU so the
+        effect of the softmax block can be isolated (the Table VI setting).
+    """
+
+    def __init__(
+        self,
+        model: CompactVisionTransformer,
+        softmax_config: SoftmaxCircuitConfig,
+        gelu_output_bsl: Optional[int] = None,
+        calibration_images: Optional[np.ndarray] = None,
+        calibrate: bool = True,
+    ) -> None:
+        self.model = model
+        tokens = model.config.num_tokens
+        config = softmax_config.clamped_to_vector_length(tokens)
+        if calibrate and calibration_images is not None:
+            from repro.evaluation.vectors import collect_softmax_inputs
+
+            logits = collect_softmax_inputs(model, calibration_images, max_rows=512)
+            config = config.with_updates(alpha_x=calibrate_alpha_x(logits, config.bx))
+        self.softmax_circuit = IterativeSoftmaxCircuit(config)
+        self.gelu_block: Optional[GeluSIBlock] = None
+        if gelu_output_bsl is not None:
+            check_positive_int(gelu_output_bsl, "gelu_output_bsl")
+            self.gelu_block = GeluSIBlock(output_length=gelu_output_bsl)
+
+    # ------------------------------------------------------------- plumbing
+    def _patched_softmax(self, scores: Tensor) -> Tensor:
+        """Run the circuit emulation on the last axis of the score tensor."""
+        flat = scores.data.reshape(-1, scores.shape[-1])
+        out = self.softmax_circuit.forward(flat)
+        # The circuit grid can make a whole row zero / slightly negative;
+        # renormalise non-negatively the way the accelerator's output stage
+        # clamps and rescales attention rows before the value multiply.
+        out = np.clip(out, 0.0, None)
+        row_sum = out.sum(axis=-1, keepdims=True)
+        uniform = np.full_like(out, 1.0 / out.shape[-1])
+        out = np.where(row_sum > 0, out / np.maximum(row_sum, 1e-9), uniform)
+        return Tensor(out.reshape(scores.shape))
+
+    def _patched_gelu(self, x: Tensor) -> Tensor:
+        assert self.gelu_block is not None
+        return Tensor(self.gelu_block.evaluate(x.data))
+
+    def evaluate(self, split: DatasetSplit, batch_size: int = 128, max_images: Optional[int] = None) -> ScViTEvaluationResult:
+        """Top-1 accuracy of the model under the circuit-level nonlinearities."""
+        model = self.model
+        was_training = model.training
+        model.eval()
+
+        # Monkey-patch the attention softmax (and optionally the MLP GELU) of
+        # every block for the duration of the evaluation.
+        originals = []
+        for block in model.blocks:
+            originals.append((block.attention, block.attention._apply_softmax, block.mlp.activation.forward))
+            block.attention._apply_softmax = self._patched_softmax
+            if self.gelu_block is not None:
+                block.mlp.activation.forward = self._patched_gelu
+
+        images = split.images if max_images is None else split.images[:max_images]
+        labels = split.labels if max_images is None else split.labels[:max_images]
+        correct = 0
+        try:
+            with no_grad():
+                for start in range(0, len(images), batch_size):
+                    chunk = Tensor(images[start : start + batch_size])
+                    logits = model(chunk)
+                    correct += int(np.sum(np.argmax(logits.data, axis=-1) == labels[start : start + batch_size]))
+        finally:
+            for attention, softmax_fn, gelu_fn in originals:
+                attention._apply_softmax = softmax_fn
+            for block, (_, _, gelu_fn) in zip(model.blocks, originals):
+                block.mlp.activation.forward = gelu_fn
+            if was_training:
+                model.train()
+
+        return ScViTEvaluationResult(
+            accuracy=float(100.0 * correct / max(1, len(images))),
+            softmax_config=self.softmax_circuit.config,
+            gelu_output_bsl=self.gelu_block.output_length if self.gelu_block else None,
+            num_images=int(len(images)),
+        )
+
+
+def evaluate_softmax_configurations(
+    model: CompactVisionTransformer,
+    split: DatasetSplit,
+    configs: Dict[str, SoftmaxCircuitConfig],
+    batch_size: int = 128,
+    max_images: Optional[int] = None,
+) -> Dict[str, ScViTEvaluationResult]:
+    """Evaluate several softmax circuit configurations on the same model.
+
+    This is the inner loop of the Table VI bench: the same trained weights,
+    different ``[By, s1, s2, k]`` softmax blocks.
+    """
+    results: Dict[str, ScViTEvaluationResult] = {}
+    for name, config in configs.items():
+        evaluator = ScViTEvaluator(model, config, calibration_images=split.images[: min(64, len(split))])
+        results[name] = evaluator.evaluate(split, batch_size=batch_size, max_images=max_images)
+    return results

@@ -1,0 +1,333 @@
+"""SC circuit block for the iterative approximate softmax — Fig. 5 / Table II.
+
+The circuit executes Algorithm 1 on thermometer-coded bitstreams.  Per
+iteration and per vector element it instantiates (Fig. 5):
+
+* **MUL ①** — truth-table multiplier computing ``z_i = x_i * y_i``,
+* **BSN ①** — a global bitonic sorting network accumulating ``sum(z)`` over
+  the ``m`` elements, sub-sampled by ``s1`` before it fans back out,
+* **MUL ②** — multiplier computing ``y_i * sum(z)``, sub-sampled by ``s2``,
+* two **re-scaling blocks** aligning the scaling factors of ``z_i / k`` and
+  ``- y_i * sum(z) / k`` (the division by the constant ``k`` is free: it only
+  divides the scaling factor),
+* **BSN ②** — the final accumulation producing ``y_i^j``, re-encoded on the
+  ``(By, alpha_y)`` output grid for the next iteration.
+
+The functional emulation below follows the same dataflow with the same
+quantisation points: the products are exact on their product grids (that is
+what a truth-table multiplier does), the two sub-sampling steps quantise on
+grids coarsened by ``s1`` and ``s2``, and the iteration output is re-encoded
+on the ``(By, alpha_y)`` grid.  Those are the only places the circuit loses
+information, so they are the only places the emulation does.
+
+The structural model (:meth:`IterativeSoftmaxCircuit.build_hardware`)
+instantiates the same pieces through the :mod:`repro.hw` cost model; the
+design space of Table II / Fig. 8 is swept by :mod:`repro.core.dse`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.hw.netlist import ComponentInventory, HardwareModule
+from repro.nn.functional_math import softmax_exact
+from repro.sc.arithmetic import thermometer_multiplier_hardware
+from repro.sc.bitstream import ThermometerStream
+from repro.sc.rescaling import RescalingBlock
+from repro.sc.sorting_network import BitonicSortingNetwork
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class SoftmaxCircuitConfig:
+    """Parameters of the softmax circuit block (Table II of the paper).
+
+    Attributes
+    ----------
+    m:
+        Length of the softmax row vector (64 for the evaluated ViT).
+    iterations:
+        Iteration count ``k`` of Algorithm 1.
+    bx, alpha_x:
+        Bitstream length and scaling factor of the input ``x``.
+    by, alpha_y:
+        Bitstream length and scaling factor of the output ``y``.
+    s1:
+        Sub-sample rate applied to ``sum(z)`` after BSN ①.
+    s2:
+        Sub-sample rate applied to ``y * sum(z)`` after MUL ②.
+    """
+
+    m: int = 64
+    iterations: int = 3
+    bx: int = 4
+    alpha_x: float = 2.0
+    by: int = 8
+    alpha_y: float = 0.03125
+    s1: int = 32
+    s2: int = 8
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.m, "m")
+        check_positive_int(self.iterations, "iterations")
+        check_positive_int(self.bx, "bx")
+        check_positive_int(self.by, "by")
+        check_positive_int(self.s1, "s1")
+        check_positive_int(self.s2, "s2")
+        if self.alpha_x <= 0 or self.alpha_y <= 0:
+            raise ValueError("scaling factors must be positive")
+
+    # ------------------------------------------------------------ geometry
+    @property
+    def z_length(self) -> int:
+        """BSL of each product ``z_i = x_i * y_i``."""
+        return self.bx * self.by // 2
+
+    @property
+    def sum_length_raw(self) -> int:
+        """BSL of ``sum(z)`` before sub-sampling (concatenation of m products)."""
+        return self.m * self.z_length
+
+    @property
+    def sum_length(self) -> int:
+        """BSL of ``sum(z)`` after the ``s1`` sub-sampling.
+
+        When ``s1`` does not divide the raw length the stream is padded up to
+        the next multiple (constant bits cost nothing in a sorted stream), so
+        the result is the ceiling division.
+        """
+        return max(1, -(-self.sum_length_raw // self.s1))
+
+    @property
+    def prod_length_raw(self) -> int:
+        """BSL of ``y_i * sum(z)`` before the ``s2`` sub-sampling."""
+        return max(1, self.by * self.sum_length // 2)
+
+    @property
+    def prod_length(self) -> int:
+        """BSL of ``y_i * sum(z)`` after the ``s2`` sub-sampling."""
+        return max(1, -(-self.prod_length_raw // self.s2))
+
+    def is_feasible(self) -> bool:
+        """True when the configuration can be built.
+
+        Only configurations whose multiplier output widths collapse to
+        nothing (odd ``Bx * By`` products) or whose sub-sample rates exceed
+        the streams they shorten are rejected; sub-sample rates that do not
+        divide a stream exactly are handled by padding, as in the hardware.
+        """
+        if self.bx * self.by % 2 != 0:
+            return False
+        if self.s1 > self.sum_length_raw:
+            return False
+        if self.s2 > self.prod_length_raw:
+            return False
+        return True
+
+    def with_updates(self, **kwargs) -> "SoftmaxCircuitConfig":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    def clamped_to_vector_length(self, m: int) -> "SoftmaxCircuitConfig":
+        """Retarget the block to vectors of length ``m``.
+
+        The sub-sample rates are upper-bounded by the streams they shorten:
+        a smaller attention matrix (fewer tokens) produces shorter ``sum(z)``
+        streams, so the Table VI parameters saturate at full sub-sampling
+        rather than becoming unbuildable.
+        """
+        check_positive_int(m, "m")
+        retargeted = self.with_updates(m=m)
+        s1 = min(self.s1, retargeted.sum_length_raw)
+        retargeted = retargeted.with_updates(s1=s1)
+        s2 = min(self.s2, retargeted.prod_length_raw)
+        return retargeted.with_updates(s2=s2)
+
+    def describe(self) -> str:
+        """Short form used by the benches: ``[By, s1, s2, k]`` as in Table VI."""
+        return f"[{self.by}, {self.s1}, {self.s2}, {self.iterations}]"
+
+
+class IterativeSoftmaxCircuit:
+    """Functional + structural model of the ASCEND softmax block."""
+
+    def __init__(self, config: SoftmaxCircuitConfig) -> None:
+        if not config.is_feasible():
+            raise ValueError(
+                f"infeasible softmax circuit configuration: {config}"
+            )
+        self.config = config
+
+    # -------------------------------------------------------------- simulate
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the circuit on a batch of logit rows.
+
+        ``x`` has shape ``(..., m)``; the returned array has the same shape
+        and contains the decoded circuit outputs.
+        """
+        cfg = self.config
+        x = np.asarray(x, dtype=float)
+        if x.shape[-1] != cfg.m:
+            raise ValueError(f"expected rows of length {cfg.m}, got {x.shape[-1]}")
+
+        x_stream = ThermometerStream.encode(x, cfg.bx, cfg.alpha_x)
+        x_levels = x_stream.signed_levels()  # integers in [-Bx/2, Bx/2]
+        x_q = x_levels * cfg.alpha_x
+
+        # y^0 = 1/m, initialised as a constant bitstream.  The hardware pins
+        # the initial count to the nearest non-zero level: if 1/m rounded to
+        # zero the recurrence z = x * y could never leave the all-zero state.
+        init_level = max(1, int(round((1.0 / cfg.m) / cfg.alpha_y)))
+        init_level = min(init_level, cfg.by // 2)
+        y_stream = ThermometerStream.from_quantized(
+            np.full(x.shape, init_level, dtype=np.int64), cfg.by, cfg.alpha_y
+        )
+
+        z_grid = cfg.alpha_x * cfg.alpha_y  # value of one signed level of a z stream
+        for _ in range(cfg.iterations):
+            y_levels = y_stream.signed_levels()
+            y_q = y_levels * cfg.alpha_y
+
+            # MUL (1): exact product on the (alpha_x * alpha_y) grid — a
+            # truth-table multiplier introduces no error of its own.
+            z_levels = x_levels * y_levels
+            z_q = z_levels * z_grid
+
+            # BSN (1) + s1 sub-sampling: the concatenated product streams are
+            # sorted and every s1-th bit is kept.  On signed levels that is a
+            # rounded division by s1 (the grid coarsens by the same factor).
+            sum_levels = z_levels.sum(axis=-1, keepdims=True)
+            sum_sub_levels = np.rint(sum_levels / cfg.s1).astype(np.int64)
+            sum_grid = z_grid * cfg.s1
+
+            # MUL (2) + s2 sub-sampling: y_i * sum(z) quantised on its
+            # product grid, then coarsened by s2.
+            prod_levels = y_levels * sum_sub_levels
+            prod_sub_levels = np.rint(prod_levels / cfg.s2).astype(np.int64)
+            prod_grid = cfg.alpha_y * sum_grid * cfg.s2
+            prod = prod_sub_levels * prod_grid
+
+            # Re-scaling + BSN (2): accumulate y + (z - y*sum(z)) / k and
+            # re-encode onto the (By, alpha_y) output grid for the next
+            # iteration (the division by k is a pure scale change).
+            update = y_q + (z_q - prod) / cfg.iterations
+            y_stream = ThermometerStream.encode(update, cfg.by, cfg.alpha_y)
+
+        return y_stream.decode()
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def mean_absolute_error(self, x: np.ndarray) -> float:
+        """MAE of the circuit against the exact softmax on a batch of rows."""
+        x = np.asarray(x, dtype=float)
+        return float(np.mean(np.abs(self.forward(x) - softmax_exact(x, axis=-1))))
+
+    # -------------------------------------------------------------- hardware
+    def build_compute_unit(self) -> HardwareModule:
+        """One of the ``m`` per-element compute units of Fig. 5."""
+        cfg = self.config
+        mul1 = thermometer_multiplier_hardware(cfg.bx, cfg.by, name="mul1")
+        mul2 = thermometer_multiplier_hardware(cfg.by, cfg.sum_length, name="mul2")
+        # Streams whose length is not a multiple of the sub-sample rate are
+        # padded up to the next multiple, exactly as in the functional model.
+        padded_prod = cfg.prod_length * cfg.s2
+        rescale1 = RescalingBlock(padded_prod, cfg.s2).build_hardware("rescale_prod")
+        rescale2 = RescalingBlock(max(cfg.z_length, 2), 1).build_hardware("rescale_z")
+        # BSN (2) adds y (By bits), z/k and -y*sum(z)/k after re-scaling; its
+        # width is the concatenation of the three aligned streams.
+        bsn2_width = cfg.by + cfg.z_length + cfg.prod_length
+        bsn2 = BitonicSortingNetwork(bsn2_width).build_hardware(name="bsn2")
+        inventory = ComponentInventory({"DFF": cfg.by, "INV": cfg.prod_length})
+        return HardwareModule(
+            name="softmax_compute_unit",
+            inventory=inventory,
+            critical_path=("DFF",),
+            cycles=1,
+            submodules=[(mul1, 1), (mul2, 1), (rescale1, 1), (rescale2, 1), (bsn2, 1)],
+            pipelined=True,
+            metadata={"by": cfg.by, "bx": cfg.bx, "bsn2_width": bsn2_width},
+        )
+
+    def build_hardware(self) -> HardwareModule:
+        """The whole softmax block: ``m`` compute units plus the global BSN ①.
+
+        The critical path of one iteration chains MUL ① → BSN ① → re-scale →
+        MUL ② → re-scale → BSN ②; the block needs ``k`` iterations per
+        softmax row, so the latency is ``k`` times that path.
+        """
+        cfg = self.config
+        unit = self.build_compute_unit()
+        bsn1 = BitonicSortingNetwork(cfg.sum_length_raw).build_hardware(name="bsn1")
+
+        # Chain the per-iteration critical path explicitly (cell names).
+        mul1_sorter_depth = BitonicSortingNetwork(max(cfg.z_length, 2)).depth
+        mul2_sorter_depth = BitonicSortingNetwork(max(cfg.by * cfg.sum_length // 2, 2)).depth
+        bsn2_depth = BitonicSortingNetwork(cfg.by + cfg.z_length + cfg.prod_length).depth
+        path = (
+            ["AND2", "XOR2"] + ["SORT_CE"] * mul1_sorter_depth  # MUL 1
+            + ["SORT_CE"] * BitonicSortingNetwork(cfg.sum_length_raw).depth  # BSN 1
+            + ["BUF"]  # s1 re-scaling tap
+            + ["AND2", "XOR2"] + ["SORT_CE"] * mul2_sorter_depth  # MUL 2
+            + ["BUF"]  # s2 re-scaling tap
+            + ["SORT_CE"] * bsn2_depth  # BSN 2
+            + ["DFF"]
+        )
+        inventory = ComponentInventory({"DFF": cfg.m * cfg.by})
+        return HardwareModule(
+            name=f"ascend_softmax_m{cfg.m}_bx{cfg.bx}_by{cfg.by}",
+            inventory=inventory,
+            critical_path=tuple(path),
+            cycles=cfg.iterations,
+            submodules=[(unit, cfg.m), (bsn1, 1)],
+            pipelined=True,
+            metadata={
+                "m": cfg.m,
+                "iterations": cfg.iterations,
+                "bx": cfg.bx,
+                "by": cfg.by,
+                "alpha_x": cfg.alpha_x,
+                "alpha_y": cfg.alpha_y,
+                "s1": cfg.s1,
+                "s2": cfg.s2,
+            },
+        )
+
+
+def calibrate_alpha_x(logits: np.ndarray, bx: int, coverage: float = 0.999) -> float:
+    """Choose the input scaling factor so the given coverage of logits fits.
+
+    The attention logits collected from the ViT have a heavy-tailed
+    distribution; clipping the extreme tail (rather than covering the
+    absolute max) gives a finer grid and lower overall MAE, the usual
+    calibration practice for post-training quantisation.
+    """
+    check_positive_int(bx, "bx")
+    logits = np.abs(np.asarray(logits, dtype=float)).reshape(-1)
+    if logits.size == 0:
+        raise ValueError("need at least one logit sample")
+    bound = float(np.quantile(logits, coverage))
+    bound = max(bound, 1e-6)
+    return 2.0 * bound / bx
+
+
+def calibrate_alpha_y(by: int, m: int, headroom: float = 2.0) -> float:
+    """Choose the output scaling factor for softmax values.
+
+    Softmax outputs over an ``m``-long row concentrate around ``1/m`` with a
+    few dominant entries, so the representable range is set to a small
+    multiple of ``8/m`` and widened slowly (fourth root) as the BSL grows:
+    longer streams spend most of their extra levels on resolution, which is
+    what minimises MAE on realistic attention rows.  The DSE sweep of Fig. 8
+    additionally treats a multiplier on this value as a free parameter.
+    """
+    check_positive_int(by, "by")
+    check_positive_int(m, "m")
+    if headroom <= 0:
+        raise ValueError("headroom must be positive")
+    base_range = min(0.5, headroom * 8.0 / m)
+    target_max = base_range * (by / 8.0) ** 0.25
+    return 2.0 * target_max / by

@@ -1,0 +1,154 @@
+"""Iterative approximate softmax — Algorithm 1 of the paper (Section IV-B).
+
+Softmax needs a division and an exponential, both expensive and inaccurate
+in SC.  ASCEND instead parameterises ``y(t) = softmax(t x)`` and integrates
+``y'(t)`` from the known value ``y(0) = 1/m`` to ``y(1) = softmax(x)`` with
+``k`` Euler steps.  Because ``y'(t)`` can be written in terms of ``y(t)``
+itself, each step needs only multiplications, accumulations and a division
+by the constant ``k`` — all SC-friendly operations.
+
+This module holds the *algorithmic* layer: the floating-point recurrence,
+its convergence analysis and the derivative used by the network substrate
+when the ViT is fine-tuned "approximate-softmax aware".  The SC circuit that
+executes the recurrence on thermometer bitstreams lives in
+:mod:`repro.core.softmax_circuit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.nn.functional_math import softmax_exact
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class IterativeSoftmaxResult:
+    """Output of a traced iterative-softmax run.
+
+    ``trajectory[j]`` is the approximation after ``j`` iterations (so
+    ``trajectory[0]`` is the uniform initialisation and ``trajectory[-1]``
+    the returned value).
+    """
+
+    output: np.ndarray
+    trajectory: Tuple[np.ndarray, ...]
+
+
+class IterativeSoftmax:
+    """Floating-point iterative approximate softmax with ``k`` iterations."""
+
+    def __init__(self, iterations: int = 3, axis: int = -1) -> None:
+        check_positive_int(iterations, "iterations")
+        self.iterations = iterations
+        self.axis = axis
+
+    # --------------------------------------------------------------- forward
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Algorithm 1: ``k`` Euler steps from the uniform distribution."""
+        return self.forward_traced(x).output
+
+    def forward_traced(self, x: np.ndarray) -> IterativeSoftmaxResult:
+        """Same as :meth:`forward` but keeping every intermediate iterate."""
+        x = np.asarray(x, dtype=float)
+        x = np.moveaxis(x, self.axis, -1)
+        m = x.shape[-1]
+        y = np.full_like(x, 1.0 / m)
+        trajectory: List[np.ndarray] = [np.moveaxis(y, -1, self.axis).copy()]
+        for _ in range(self.iterations):
+            z = x * y
+            total = z.sum(axis=-1, keepdims=True)
+            y = y + (z - y * total) / self.iterations
+            trajectory.append(np.moveaxis(y, -1, self.axis).copy())
+        return IterativeSoftmaxResult(
+            output=np.moveaxis(y, -1, self.axis),
+            trajectory=tuple(trajectory),
+        )
+
+    # -------------------------------------------------------------- backward
+    def backward(self, x: np.ndarray, grad_output: np.ndarray) -> np.ndarray:
+        """Gradient of the iterative softmax w.r.t. its input.
+
+        The approximate-softmax-aware fine-tuning stage (Section V) trains
+        the ViT *through* the approximation, so the exact Jacobian of the
+        recurrence is needed, not the Jacobian of the true softmax.  It is
+        obtained by reverse-mode differentiation of the ``k`` Euler steps.
+        """
+        x = np.asarray(x, dtype=float)
+        grad_output = np.asarray(grad_output, dtype=float)
+        if grad_output.shape != x.shape:
+            raise ValueError("grad_output must match the input shape")
+        x_m = np.moveaxis(x, self.axis, -1)
+        g_m = np.moveaxis(grad_output, self.axis, -1)
+        m = x_m.shape[-1]
+        k = self.iterations
+
+        # Forward pass storing the iterates needed by the reverse sweep.
+        ys = [np.full_like(x_m, 1.0 / m)]
+        for _ in range(k):
+            y = ys[-1]
+            z = x_m * y
+            total = z.sum(axis=-1, keepdims=True)
+            ys.append(y + (z - y * total) / k)
+
+        grad_x = np.zeros_like(x_m)
+        grad_y = g_m.copy()
+        for j in range(k, 0, -1):
+            y = ys[j - 1]
+            z = x_m * y
+            total = z.sum(axis=-1, keepdims=True)
+            # y_next = y + (z - y * total) / k   with  z = x * y,  total = sum(z)
+            grad_z = grad_y / k
+            grad_total = -(grad_y * y).sum(axis=-1, keepdims=True) / k
+            grad_y_direct = grad_y * (1.0 - total / k)
+            grad_z_from_total = grad_total  # broadcast over the row
+            grad_z_total = grad_z + grad_z_from_total
+            grad_x += grad_z_total * y
+            grad_y = grad_y_direct + grad_z_total * x_m
+        return np.moveaxis(grad_x, -1, self.axis)
+
+    # -------------------------------------------------------------- analysis
+    def error_vs_exact(self, x: np.ndarray) -> float:
+        """Mean absolute error against the exact softmax on a batch of rows."""
+        x = np.asarray(x, dtype=float)
+        approx = self.forward(x)
+        exact = softmax_exact(x, axis=self.axis)
+        return float(np.mean(np.abs(approx - exact)))
+
+    def convergence_curve(self, x: np.ndarray, max_iterations: int = 16) -> np.ndarray:
+        """MAE against the exact softmax as a function of the iteration count.
+
+        Used by the ablation bench on ``k`` and by the design-space notes in
+        ``EXPERIMENTS.md``: the curve flattens quickly, which is why the
+        paper's recommended configuration uses only ``k = 3``.
+        """
+        check_positive_int(max_iterations, "max_iterations")
+        x = np.asarray(x, dtype=float)
+        exact = softmax_exact(x, axis=self.axis)
+        errors = np.empty(max_iterations)
+        for k in range(1, max_iterations + 1):
+            approx = IterativeSoftmax(iterations=k, axis=self.axis).forward(x)
+            errors[k - 1] = np.mean(np.abs(approx - exact))
+        return errors
+
+    def preserves_ordering_fraction(self, x: np.ndarray) -> float:
+        """Fraction of rows whose argmax matches the exact softmax argmax.
+
+        The FSM baseline of [17] only guarantees the relative order of the
+        outputs; this metric lets benches compare both designs on that axis
+        too.
+        """
+        x = np.asarray(x, dtype=float)
+        approx = self.forward(x)
+        exact = softmax_exact(x, axis=self.axis)
+        return float(
+            np.mean(
+                np.argmax(approx, axis=self.axis) == np.argmax(exact, axis=self.axis)
+            )
+        )

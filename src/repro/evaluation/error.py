@@ -1,0 +1,48 @@
+"""Error metrics and comparison records for circuit evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.hw.metrics import mean_absolute_error, root_mean_squared_error
+
+
+@dataclass(frozen=True)
+class ErrorReport:
+    """Accuracy of one circuit against the exact function on test vectors."""
+
+    mae: float
+    rmse: float
+    max_error: float
+    bias: float
+    num_samples: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "mae": self.mae,
+            "rmse": self.rmse,
+            "max_error": self.max_error,
+            "bias": self.bias,
+            "num_samples": float(self.num_samples),
+        }
+
+
+def compare_against_reference(reference: np.ndarray, measured: np.ndarray) -> ErrorReport:
+    """Build an :class:`ErrorReport` from reference and measured outputs."""
+    reference = np.asarray(reference, dtype=float)
+    measured = np.asarray(measured, dtype=float)
+    if reference.shape != measured.shape:
+        raise ValueError(
+            f"shape mismatch: reference {reference.shape} vs measured {measured.shape}"
+        )
+    diff = measured - reference
+    return ErrorReport(
+        mae=mean_absolute_error(reference, measured),
+        rmse=root_mean_squared_error(reference, measured),
+        max_error=float(np.max(np.abs(diff))),
+        bias=float(np.mean(diff)),
+        num_samples=int(reference.size),
+    )

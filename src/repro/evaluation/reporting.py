@@ -1,0 +1,87 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+Every bench prints rows shaped like the paper's tables; these helpers keep
+the formatting in one place so the output of ``pytest benchmarks/`` is easy
+to diff against ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Mapping, Sequence, Union
+
+
+def _stringify(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3g}"
+        if magnitude >= 100:
+            return f"{value:.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Format an aligned plain-text table."""
+    str_rows: List[List[str]] = [[_stringify(cell) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must have one cell per header")
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Format a GitHub-flavoured Markdown table (used to update EXPERIMENTS.md)."""
+    str_rows = [[_stringify(cell) for cell in row] for row in rows]
+    headers = [str(h) for h in headers]
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must have one cell per header")
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def save_json_report(path: Union[str, Path], payload: Mapping) -> Path:
+    """Write a benchmark result payload as pretty-printed JSON.
+
+    Nested numpy scalars/arrays are converted to plain Python types so the
+    files stay tool-agnostic.
+    """
+
+    def convert(obj):
+        import numpy as np
+
+        if isinstance(obj, Mapping):
+            return {str(k): convert(v) for k, v in obj.items()}
+        if isinstance(obj, (list, tuple)):
+            return [convert(v) for v in obj]
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        if isinstance(obj, (np.integer,)):
+            return int(obj)
+        if isinstance(obj, (np.floating,)):
+            return float(obj)
+        return obj
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(convert(payload), indent=2, sort_keys=True))
+    return path

@@ -1,0 +1,174 @@
+"""Standard-cell library model.
+
+Cell areas and delays are representative of a commercial 28 nm high-density
+library (areas of a few tenths of a square micron per simple gate, gate
+delays of a few tens of picoseconds).  The exact values are calibration
+constants — the reproduction does not claim to model TSMC's library, only to
+give every SC block a consistent, physically plausible cost basis so that
+*relative* comparisons (the quantity the paper argues about) are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class StandardCell:
+    """A single standard cell.
+
+    Attributes
+    ----------
+    name:
+        Library cell name, e.g. ``"NAND2"``.
+    area_um2:
+        Placed cell area in square microns.
+    delay_ns:
+        Typical propagation delay in nanoseconds under a nominal load.
+    leakage_nw:
+        Leakage power in nanowatts; used only by the energy proxy metric.
+    """
+
+    name: str
+    area_um2: float
+    delay_ns: float
+    leakage_nw: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.area_um2 < 0 or self.delay_ns < 0 or self.leakage_nw < 0:
+            raise ValueError(f"cell {self.name} has negative characteristics")
+
+
+class CellLibrary:
+    """A named collection of :class:`StandardCell` objects.
+
+    The library answers area/delay queries for the synthesis estimator and
+    refuses queries for unknown cells (a silent zero-area default would make
+    cost comparisons meaningless).
+    """
+
+    def __init__(self, name: str, cells: Iterable[StandardCell]) -> None:
+        self.name = name
+        self._cells: Dict[str, StandardCell] = {}
+        for cell in cells:
+            if cell.name in self._cells:
+                raise ValueError(f"duplicate cell {cell.name!r} in library {name!r}")
+            self._cells[cell.name] = cell
+
+    def __contains__(self, cell_name: str) -> bool:
+        return cell_name in self._cells
+
+    def __iter__(self):
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def cell(self, cell_name: str) -> StandardCell:
+        """Return the cell record for ``cell_name`` or raise ``KeyError``."""
+        try:
+            return self._cells[cell_name]
+        except KeyError:
+            raise KeyError(
+                f"cell {cell_name!r} is not in library {self.name!r}; "
+                f"known cells: {sorted(self._cells)}"
+            ) from None
+
+    def area(self, cell_name: str, count: int = 1) -> float:
+        """Total area of ``count`` instances of ``cell_name`` in um^2."""
+        check_positive_int(count, "count")
+        return self.cell(cell_name).area_um2 * count
+
+    def delay(self, cell_name: str) -> float:
+        """Propagation delay of a single ``cell_name`` instance in ns."""
+        return self.cell(cell_name).delay_ns
+
+    def leakage(self, cell_name: str, count: int = 1) -> float:
+        """Total leakage of ``count`` instances in nW."""
+        check_positive_int(count, "count")
+        return self.cell(cell_name).leakage_nw * count
+
+    def scaled(self, name: str, area_scale: float, delay_scale: float) -> "CellLibrary":
+        """Return a technology-scaled copy of the library.
+
+        Useful for quick what-if studies (e.g. approximating a 16 nm or 40 nm
+        node) without touching any block generator.
+        """
+        if area_scale <= 0 or delay_scale <= 0:
+            raise ValueError("scale factors must be positive")
+        cells = [
+            StandardCell(
+                name=cell.name,
+                area_um2=cell.area_um2 * area_scale,
+                delay_ns=cell.delay_ns * delay_scale,
+                leakage_nw=cell.leakage_nw * area_scale,
+            )
+            for cell in self
+        ]
+        return CellLibrary(name, cells)
+
+    def as_dict(self) -> Mapping[str, StandardCell]:
+        """Read-only view of the cells keyed by name."""
+        return dict(self._cells)
+
+
+#: Calibrated cell characteristics for the default library.  Simple gates use
+#: areas/delays typical of a 28 nm high-density process; the composite cells
+#: (full adder, compare-exchange, LFSR bit) are pre-flattened conveniences so
+#: block generators stay readable.
+_DEFAULT_CELLS = (
+    StandardCell("INV", area_um2=0.13, delay_ns=0.010, leakage_nw=0.6),
+    StandardCell("BUF", area_um2=0.18, delay_ns=0.015, leakage_nw=0.8),
+    StandardCell("NAND2", area_um2=0.18, delay_ns=0.014, leakage_nw=0.9),
+    StandardCell("NOR2", area_um2=0.18, delay_ns=0.016, leakage_nw=0.9),
+    StandardCell("AND2", area_um2=0.23, delay_ns=0.020, leakage_nw=1.1),
+    StandardCell("OR2", area_um2=0.23, delay_ns=0.020, leakage_nw=1.1),
+    StandardCell("AND3", area_um2=0.30, delay_ns=0.025, leakage_nw=1.4),
+    StandardCell("OR3", area_um2=0.30, delay_ns=0.025, leakage_nw=1.4),
+    StandardCell("XOR2", area_um2=0.41, delay_ns=0.030, leakage_nw=1.8),
+    StandardCell("XNOR2", area_um2=0.41, delay_ns=0.030, leakage_nw=1.8),
+    StandardCell("MUX2", area_um2=0.41, delay_ns=0.028, leakage_nw=1.8),
+    StandardCell("MUX4", area_um2=0.95, delay_ns=0.050, leakage_nw=3.6),
+    StandardCell("AOI21", area_um2=0.27, delay_ns=0.020, leakage_nw=1.2),
+    StandardCell("OAI21", area_um2=0.27, delay_ns=0.020, leakage_nw=1.2),
+    # Sequential cells.
+    StandardCell("DFF", area_um2=1.10, delay_ns=0.080, leakage_nw=4.5),
+    StandardCell("SRFF", area_um2=0.80, delay_ns=0.060, leakage_nw=3.2),
+    # Pre-flattened composite cells used by the SC block generators.
+    StandardCell("HALF_ADDER", area_um2=0.64, delay_ns=0.045, leakage_nw=2.6),
+    StandardCell("FULL_ADDER", area_um2=1.15, delay_ns=0.070, leakage_nw=4.8),
+    StandardCell("CMP_BIT", area_um2=0.75, delay_ns=0.045, leakage_nw=3.0),
+    # A compare-exchange element of a bitonic sorting network for single-bit
+    # streams is just an AND (max) and an OR (min) gate pair.
+    StandardCell("SORT_CE", area_um2=0.46, delay_ns=0.040, leakage_nw=2.2),
+    # One stage (bit) of a maximal-length LFSR used by stochastic number
+    # generators: a flip-flop plus feedback XOR share.
+    StandardCell("LFSR_BIT", area_um2=1.55, delay_ns=0.090, leakage_nw=6.0),
+    # Saturating up/down counter bit used by FSM-based SC nonlinearities.
+    StandardCell("COUNTER_BIT", area_um2=1.90, delay_ns=0.120, leakage_nw=7.5),
+    # SRAM bit used for coefficient / lookup storage inside blocks.
+    StandardCell("SRAM_BIT", area_um2=0.12, delay_ns=0.150, leakage_nw=0.05),
+)
+
+
+def tsmc28_like_library() -> CellLibrary:
+    """Return the default 28 nm-like calibration library.
+
+    A fresh object is returned on every call so that callers mutating a
+    scaled copy can never corrupt the shared default.
+    """
+    return CellLibrary("tsmc28-like", _DEFAULT_CELLS)
+
+
+_DEFAULT_LIBRARY: Optional[CellLibrary] = None
+
+
+def default_library() -> CellLibrary:
+    """Return a process-wide shared instance of the default library."""
+    global _DEFAULT_LIBRARY
+    if _DEFAULT_LIBRARY is None:
+        _DEFAULT_LIBRARY = tsmc28_like_library()
+    return _DEFAULT_LIBRARY

@@ -1,0 +1,80 @@
+"""Hardware and accuracy metrics used throughout the evaluation.
+
+The paper reports two kinds of numbers for each circuit: hardware cost
+(area, delay and their product, ADP) and computation error (mean average
+error, MAE, of the circuit output against the exact mathematical function on
+test vectors drawn from real ViT activations).  This module centralises both
+so every benchmark computes them identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def area_delay_product(area_um2: float, delay_ns: float) -> float:
+    """Area-delay product in um^2 * ns.
+
+    Raises if either operand is negative; zero is allowed (an empty block).
+    """
+    if area_um2 < 0 or delay_ns < 0:
+        raise ValueError("area and delay must be non-negative")
+    return area_um2 * delay_ns
+
+
+def mean_absolute_error(reference: np.ndarray, measured: np.ndarray) -> float:
+    """MAE between a circuit's outputs and the exact function values.
+
+    Both arrays are flattened; shapes must match element-for-element.
+    """
+    reference = np.asarray(reference, dtype=float)
+    measured = np.asarray(measured, dtype=float)
+    if reference.shape != measured.shape:
+        raise ValueError(
+            f"shape mismatch: reference {reference.shape} vs measured {measured.shape}"
+        )
+    if reference.size == 0:
+        raise ValueError("cannot compute MAE of empty arrays")
+    return float(np.mean(np.abs(reference - measured)))
+
+
+def root_mean_squared_error(reference: np.ndarray, measured: np.ndarray) -> float:
+    """RMSE between reference and measured outputs (same contract as MAE)."""
+    reference = np.asarray(reference, dtype=float)
+    measured = np.asarray(measured, dtype=float)
+    if reference.shape != measured.shape:
+        raise ValueError(
+            f"shape mismatch: reference {reference.shape} vs measured {measured.shape}"
+        )
+    if reference.size == 0:
+        raise ValueError("cannot compute RMSE of empty arrays")
+    return float(np.sqrt(np.mean((reference - measured) ** 2)))
+
+
+def energy_proxy(leakage_nw: float, delay_ns: float, switching_factor: float = 1.0) -> float:
+    """A simple energy-per-result proxy in femtojoules.
+
+    Leakage power integrated over the latency plus a switching term
+    proportional to it.  The paper does not report energy, but the proxy is
+    useful for the ablation benches, so it lives here next to ADP.
+    """
+    if leakage_nw < 0 or delay_ns < 0 or switching_factor < 0:
+        raise ValueError("energy proxy inputs must be non-negative")
+    static_fj = leakage_nw * delay_ns * 1e-3  # nW * ns = 1e-18 J = 1e-3 fJ
+    return static_fj * (1.0 + switching_factor)
+
+
+def reduction_factor(baseline: float, ours: float) -> float:
+    """How many times smaller ``ours`` is than ``baseline`` (e.g. ADP reduction)."""
+    if ours <= 0:
+        raise ValueError("ours must be positive to compute a reduction factor")
+    if baseline < 0:
+        raise ValueError("baseline must be non-negative")
+    return baseline / ours
+
+
+def percentage_reduction(baseline: float, ours: float) -> float:
+    """Percentage by which ``ours`` is lower than ``baseline`` (e.g. MAE reduction)."""
+    if baseline == 0:
+        raise ValueError("baseline must be non-zero for a percentage reduction")
+    return 100.0 * (baseline - ours) / baseline

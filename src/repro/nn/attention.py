@@ -1,0 +1,107 @@
+"""Multi-head self-attention with a pluggable softmax implementation.
+
+The attention block is where ASCEND's two network-level changes meet:
+
+* the softmax over attention scores can be the exact one or the iterative
+  approximation of Algorithm 1 (selected per-model, so the same weights can
+  be evaluated/fine-tuned under either),
+* the Q/K/V and output projections are plain :class:`~repro.nn.layers.Linear`
+  layers here and are swapped for LSQ-quantised versions by the precision
+  scheme machinery in :mod:`repro.nn.quantization`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.autograd import Tensor
+from repro.nn.layers import Dropout, Linear, Module
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_in_choices, check_positive_int
+
+
+@dataclass
+class AttentionTrace:
+    """Intermediate values captured during one attention forward pass."""
+
+    logits: np.ndarray  # pre-softmax scores, shape (batch, heads, tokens, tokens)
+    weights: np.ndarray  # post-softmax attention weights
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard multi-head self-attention (Fig. 1 of the paper, MSA block)."""
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_heads: int,
+        dropout: float = 0.0,
+        softmax_mode: str = "exact",
+        softmax_iterations: int = 3,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        check_positive_int(embed_dim, "embed_dim")
+        check_positive_int(num_heads, "num_heads")
+        check_in_choices(softmax_mode, ("exact", "iterative"), "softmax_mode")
+        check_positive_int(softmax_iterations, "softmax_iterations")
+        if embed_dim % num_heads != 0:
+            raise ValueError("embed_dim must be divisible by num_heads")
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        self.softmax_mode = softmax_mode
+        self.softmax_iterations = softmax_iterations
+        rng = as_generator(seed)
+        self.qkv = Linear(embed_dim, 3 * embed_dim, seed=rng)
+        self.proj = Linear(embed_dim, embed_dim, seed=rng)
+        self.attn_dropout = Dropout(dropout, seed=rng)
+        self.proj_dropout = Dropout(dropout, seed=rng)
+        self._last_trace: Optional[AttentionTrace] = None
+
+    # -------------------------------------------------------------- softmax
+    def set_softmax_mode(self, mode: str, iterations: Optional[int] = None) -> None:
+        """Switch between the exact and the iterative approximate softmax."""
+        check_in_choices(mode, ("exact", "iterative"), "mode")
+        self.softmax_mode = mode
+        if iterations is not None:
+            check_positive_int(iterations, "iterations")
+            self.softmax_iterations = iterations
+
+    def _apply_softmax(self, scores: Tensor) -> Tensor:
+        if self.softmax_mode == "exact":
+            return F.softmax(scores, axis=-1)
+        return F.iterative_softmax(scores, iterations=self.softmax_iterations, axis=-1)
+
+    # -------------------------------------------------------------- forward
+    def forward(self, x: Tensor, collect_trace: bool = False) -> Tensor:
+        batch, tokens, dim = x.shape
+        if dim != self.embed_dim:
+            raise ValueError(f"expected embedding dim {self.embed_dim}, got {dim}")
+        qkv = self.qkv(x)  # (batch, tokens, 3 * dim)
+        qkv = qkv.reshape(batch, tokens, 3, self.num_heads, self.head_dim)
+        qkv = qkv.transpose(2, 0, 3, 1, 4)  # (3, batch, heads, tokens, head_dim)
+        query, key, value = qkv[0], qkv[1], qkv[2]
+
+        scores = F.scaled_dot_product_scores(query, key)
+        weights = self._apply_softmax(scores)
+        weights = self.attn_dropout(weights)
+        if collect_trace:
+            self._last_trace = AttentionTrace(
+                logits=scores.data.copy(), weights=weights.data.copy()
+            )
+        else:
+            self._last_trace = None
+
+        context = weights @ value  # (batch, heads, tokens, head_dim)
+        context = context.transpose(0, 2, 1, 3).reshape(batch, tokens, dim)
+        return self.proj_dropout(self.proj(context))
+
+    @property
+    def last_trace(self) -> Optional[AttentionTrace]:
+        """Trace of the most recent forward pass run with ``collect_trace=True``."""
+        return self._last_trace

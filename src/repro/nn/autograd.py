@@ -1,0 +1,471 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+PyTorch is not available offline, so the training side of the reproduction
+(LSQ quantisation, knowledge distillation, progressive quantisation,
+approximate-softmax-aware fine-tuning) runs on this small engine.  It
+follows the familiar define-by-run design:
+
+* a :class:`Tensor` wraps a numpy array, remembers the operation that
+  produced it and the parent tensors,
+* every differentiable operation records a backward closure that maps the
+  output gradient to parent gradients,
+* :meth:`Tensor.backward` topologically sorts the recorded graph and runs
+  the closures in reverse order.
+
+Only the operations the ViT/LSQ stack actually needs are implemented, but
+each handles full numpy broadcasting so the layer code stays natural.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+from scipy.special import erf as _erf
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (inference / statistics)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """True when operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` undoing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were broadcast from size 1.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor participating in reverse-mode autodiff."""
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.grad: Optional[np.ndarray] = None
+        self.name = name
+        self._parents = _parents if self.requires_grad or any(p.requires_grad for p in _parents) else ()
+        self._backward = _backward
+
+    # ------------------------------------------------------------ properties
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """The scalar value of a 0-d / single-element tensor."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """A new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def __array__(self, dtype=None) -> np.ndarray:
+        return self.data.astype(dtype) if dtype is not None else self.data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    # --------------------------------------------------------- graph plumbing
+    @staticmethod
+    def _coerce(other: ArrayLike) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def _needs_graph(self, *others: "Tensor") -> bool:
+        return _GRAD_ENABLED and (
+            self.requires_grad or any(o.requires_grad for o in others)
+        )
+
+    @classmethod
+    def _from_op(
+        cls,
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = cls(data)
+        out.requires_grad = requires
+        if requires:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Back-propagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        topo: List[Tensor] = []
+        visited = set()
+
+        def visit(node: "Tensor") -> None:
+            if id(node) in visited:
+                return
+            visited.add(id(node))
+            for parent in node._parents:
+                visit(parent)
+            topo.append(node)
+
+        visit(self)
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------ arithmetic
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad)
+            if other.requires_grad:
+                other._accumulate(grad)
+
+        return self._from_op(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return self._from_op(-self.data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * other.data)
+            if other.requires_grad:
+                other._accumulate(grad * self.data)
+
+        return self._from_op(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / other.data)
+            if other.requires_grad:
+                other._accumulate(-grad * self.data / (other.data**2))
+
+        return self._from_op(data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._from_op(data, (self,), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other = self._coerce(other)
+        data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    grad_self = np.expand_dims(grad, -1) * other.data
+                else:
+                    grad_self = grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(grad_self, self.data.shape))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    grad_other = np.expand_dims(self.data, -1) * np.expand_dims(grad, -2)
+                else:
+                    grad_other = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(_unbroadcast(grad_other, other.data.shape))
+
+        return self._from_op(data, (self, other), backward)
+
+    # ------------------------------------------------------------ reductions
+    def sum(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad
+            if axis is not None and not keepdims:
+                axes = (axis,) if isinstance(axis, int) else tuple(axis)
+                for ax in sorted(a % self.data.ndim for a in axes):
+                    g = np.expand_dims(g, ax)
+            self._accumulate(np.broadcast_to(g, self.data.shape))
+
+        return self._from_op(data, (self,), backward)
+
+    def mean(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis: Optional[Union[int, Tuple[int, ...]]] = None, keepdims: bool = False) -> "Tensor":
+        centred = self - self.mean(axis=axis, keepdims=True)
+        return (centred * centred).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            if not self.requires_grad:
+                return
+            g = grad if keepdims else np.expand_dims(grad, axis)
+            maxima = self.data.max(axis=axis, keepdims=True)
+            mask = (self.data == maxima).astype(np.float64)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            self._accumulate(mask * g)
+
+        return self._from_op(data, (self,), backward)
+
+    # ------------------------------------------------------- shape operations
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.reshape(self.data.shape))
+
+        return self._from_op(data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        return self._from_op(data, (self,), backward)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        axes = list(range(self.data.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(*axes)
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, index, grad)
+                self._accumulate(full)
+
+        return self._from_op(data, (self,), backward)
+
+    # ------------------------------------------------------------ elementwise
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * data)
+
+        return self._from_op(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return self._from_op(data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * 0.5 / np.maximum(data, 1e-12))
+
+        return self._from_op(data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - data**2))
+
+        return self._from_op(data, (self,), backward)
+
+    def erf(self) -> "Tensor":
+        data = _erf(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * 2.0 / np.sqrt(np.pi) * np.exp(-self.data**2))
+
+        return self._from_op(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        data = np.maximum(self.data, 0.0)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * (self.data > 0))
+
+        return self._from_op(data, (self,), backward)
+
+    def clamp(self, lo: float, hi: float) -> "Tensor":
+        """Clamp with zero gradient outside the interval (hard clipping)."""
+        data = np.clip(self.data, lo, hi)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                inside = (self.data >= lo) & (self.data <= hi)
+                self._accumulate(grad * inside)
+
+        return self._from_op(data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                self._accumulate(grad * np.sign(self.data))
+
+        return self._from_op(data, (self,), backward)
+
+    # --------------------------------------------------------------- helpers
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(grad: np.ndarray) -> None:
+            for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if tensor.requires_grad:
+                    index = [slice(None)] * grad.ndim
+                    index[axis] = slice(start, stop)
+                    tensor._accumulate(grad[tuple(index)])
+
+        return Tensor._from_op(data, tuple(tensors), backward)
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor._coerce(t) for t in tensors]
+        data = np.stack([t.data for t in tensors], axis=axis)
+
+        def backward(grad: np.ndarray) -> None:
+            slices = np.moveaxis(grad, axis, 0)
+            for tensor, piece in zip(tensors, slices):
+                if tensor.requires_grad:
+                    tensor._accumulate(piece)
+
+        return Tensor._from_op(data, tuple(tensors), backward)
+
+    @staticmethod
+    def custom(
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Escape hatch for custom primitives (used by the LSQ quantisers).
+
+        ``backward`` receives the output gradient and must call
+        ``parent._accumulate`` itself for every parent that requires grad.
+        """
+        return Tensor._from_op(np.asarray(data, dtype=np.float64), parents, backward)
+
+
+def parameter(data: ArrayLike, name: Optional[str] = None) -> Tensor:
+    """A trainable tensor (requires_grad=True)."""
+    return Tensor(data, requires_grad=True, name=name)

@@ -1,0 +1,94 @@
+"""Loss functions: cross-entropy, KL-divergence and MSE.
+
+The knowledge-distillation objective of Section V combines a KL term on the
+teacher/student logits with an MSE term on per-layer features:
+
+.. math::
+    \\mathcal{L} = \\ell_{KL}(Z_s, Z_t) + \\beta \\cdot \\frac{1}{M}
+    \\sum_{i=1}^{M} \\ell_{MSE}(S_i, T_i)
+
+with ``beta = 2`` in the paper; :func:`distillation_loss` assembles exactly
+that (the feature term lives in :mod:`repro.training.distillation`, which
+also handles collecting the per-layer outputs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.autograd import Tensor
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between logits and integer class labels."""
+    labels = np.asarray(labels, dtype=int)
+    if logits.ndim != 2:
+        raise ValueError("logits must be (batch, classes)")
+    if labels.shape != (logits.shape[0],):
+        raise ValueError("labels must be a 1-D array matching the batch size")
+    log_probs = F.log_softmax(logits, axis=-1)
+    targets = Tensor(F.one_hot(labels, logits.shape[-1]))
+    per_sample = -(log_probs * targets).sum(axis=-1)
+    return per_sample.mean()
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy in percent (plain numpy, no gradients)."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels, dtype=int)
+    if logits.shape[0] != labels.shape[0]:
+        raise ValueError("logits and labels must agree on the batch size")
+    predictions = np.argmax(logits, axis=-1)
+    return float(100.0 * np.mean(predictions == labels))
+
+
+def kl_divergence_with_logits(student_logits: Tensor, teacher_logits: np.ndarray, temperature: float = 1.0) -> Tensor:
+    """KL(teacher || student) from raw logits, averaged over the batch.
+
+    The teacher side carries no gradient (it is a frozen model in the KD
+    pipeline), so it is accepted as a plain array.
+    """
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    teacher_logits = np.asarray(teacher_logits, dtype=float)
+    if teacher_logits.shape != student_logits.shape:
+        raise ValueError("teacher and student logits must have the same shape")
+    from repro.nn.functional_math import log_softmax_exact
+
+    teacher_log_probs = log_softmax_exact(teacher_logits / temperature, axis=-1)
+    teacher_probs = np.exp(teacher_log_probs)
+    student_log_probs = F.log_softmax(student_logits * (1.0 / temperature), axis=-1)
+    per_sample = (Tensor(teacher_probs) * (Tensor(teacher_log_probs) - student_log_probs)).sum(axis=-1)
+    return per_sample.mean() * (temperature**2)
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant (no-grad) target."""
+    target = np.asarray(target, dtype=float)
+    if target.shape != prediction.shape:
+        raise ValueError("prediction and target must have the same shape")
+    diff = prediction - Tensor(target)
+    return (diff * diff).mean()
+
+
+def distillation_loss(
+    student_logits: Tensor,
+    teacher_logits: np.ndarray,
+    labels: Optional[np.ndarray] = None,
+    hard_label_weight: float = 0.0,
+    temperature: float = 1.0,
+) -> Tensor:
+    """Logit-level part of the KD objective, optionally mixed with CE.
+
+    The paper's first-stage objective is pure KD (KL + feature MSE); the
+    optional hard-label term is exposed for the ablation benches.
+    """
+    loss = kl_divergence_with_logits(student_logits, teacher_logits, temperature=temperature)
+    if hard_label_weight > 0:
+        if labels is None:
+            raise ValueError("labels are required when hard_label_weight > 0")
+        loss = loss + hard_label_weight * cross_entropy(student_logits, labels)
+    return loss

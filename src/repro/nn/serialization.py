@@ -1,0 +1,46 @@
+"""Saving and loading model parameters.
+
+State dicts are plain ``{name: ndarray}`` mappings (see
+:meth:`repro.nn.layers.Module.state_dict`), stored as compressed ``.npz``
+files so checkpoints produced by the training pipeline can be re-used by the
+benchmark harness and the examples without retraining.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+
+def save_state_dict(path: Union[str, Path], state: Dict[str, np.ndarray]) -> Path:
+    """Write a state dict to ``path`` (``.npz`` appended when missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **{k: np.asarray(v) for k, v in state.items()})
+    return path
+
+
+def load_state_dict(path: Union[str, Path]) -> Dict[str, np.ndarray]:
+    """Read a state dict previously written by :func:`save_state_dict`."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(".npz").exists():
+        path = path.with_suffix(".npz")
+    with np.load(path) as data:
+        return {name: data[name].copy() for name in data.files}
+
+
+def save_model(path: Union[str, Path], model: Module) -> Path:
+    """Persist a module's parameters and buffers."""
+    return save_state_dict(path, model.state_dict())
+
+
+def load_model(path: Union[str, Path], model: Module, strict: bool = True) -> Module:
+    """Load parameters into an already-constructed module (shapes must match)."""
+    model.load_state_dict(load_state_dict(path), strict=strict)
+    return model

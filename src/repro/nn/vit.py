@@ -1,0 +1,288 @@
+"""Compact Vision Transformer (the network evaluated in the paper).
+
+The paper's network-level experiments use a lightweight ViT with 7 layers
+and 4 heads (following Hassani et al.'s compact transformers) on CIFAR-10 /
+CIFAR-100.  This module provides a configurable compact ViT on the numpy
+autograd substrate with the knobs ASCEND's co-design needs:
+
+* **normalisation** — LayerNorm (the vanilla ViT) or BatchNorm (the
+  SC-friendly substitution of Section V),
+* **softmax** — exact or iterative-approximate (Algorithm 1), switchable on
+  a trained model for the approximate-softmax-aware fine-tuning stage,
+* **precision** — every projection is a :class:`QuantizedLinear` and every
+  residual addition passes through a :class:`ResidualQuantizer`, so the
+  W/A/R precision schemes of the progressive-quantisation pipeline can be
+  applied to the same weights at any point,
+* **tracing** — ``forward_with_trace`` captures pre-softmax attention logits
+  and pre-GELU activations, the test vectors of the paper's circuit-error
+  methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.autograd import Tensor, parameter
+from repro.nn.layers import BatchNorm, Dropout, GELU, Identity, LayerNorm, Module
+from repro.nn.quantization import PrecisionScheme, QuantizedLinear, ResidualQuantizer, apply_precision_scheme
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_in_choices, check_positive_int
+
+
+@dataclass(frozen=True)
+class ViTConfig:
+    """Hyper-parameters of the compact ViT."""
+
+    image_size: int = 16
+    patch_size: int = 4
+    in_channels: int = 3
+    num_classes: int = 10
+    embed_dim: int = 64
+    num_layers: int = 7
+    num_heads: int = 4
+    mlp_ratio: float = 2.0
+    dropout: float = 0.0
+    norm: str = "ln"  # "ln" (vanilla) or "bn" (SC-friendly)
+    softmax_mode: str = "exact"  # "exact" or "iterative"
+    softmax_iterations: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.image_size, "image_size")
+        check_positive_int(self.patch_size, "patch_size")
+        check_positive_int(self.in_channels, "in_channels")
+        check_positive_int(self.num_classes, "num_classes")
+        check_positive_int(self.embed_dim, "embed_dim")
+        check_positive_int(self.num_layers, "num_layers")
+        check_positive_int(self.num_heads, "num_heads")
+        check_in_choices(self.norm, ("ln", "bn"), "norm")
+        check_in_choices(self.softmax_mode, ("exact", "iterative"), "softmax_mode")
+        if self.image_size % self.patch_size != 0:
+            raise ValueError("patch_size must divide image_size")
+        if self.embed_dim % self.num_heads != 0:
+            raise ValueError("num_heads must divide embed_dim")
+        if self.mlp_ratio <= 0:
+            raise ValueError("mlp_ratio must be positive")
+
+    @property
+    def num_patches(self) -> int:
+        return (self.image_size // self.patch_size) ** 2
+
+    @property
+    def num_tokens(self) -> int:
+        """Patch tokens plus the class token."""
+        return self.num_patches + 1
+
+    @property
+    def patch_dim(self) -> int:
+        return self.patch_size * self.patch_size * self.in_channels
+
+    @property
+    def mlp_hidden_dim(self) -> int:
+        return int(self.embed_dim * self.mlp_ratio)
+
+    def with_updates(self, **kwargs) -> "ViTConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass
+class ModelTrace:
+    """Intermediate values captured by ``forward_with_trace``."""
+
+    logits: np.ndarray
+    attention_logits: List[np.ndarray] = field(default_factory=list)
+    gelu_inputs: List[np.ndarray] = field(default_factory=list)
+    residuals: List[np.ndarray] = field(default_factory=list)
+
+
+def _make_norm(kind: str, dim: int) -> Module:
+    return LayerNorm(dim) if kind == "ln" else BatchNorm(dim)
+
+
+class PatchEmbedding(Module):
+    """Split the image into patches and project them to the embedding dim."""
+
+    def __init__(self, config: ViTConfig, seed: SeedLike = None) -> None:
+        super().__init__()
+        self.config = config
+        self.projection = QuantizedLinear(config.patch_dim, config.embed_dim, seed=seed)
+
+    def forward(self, images: Tensor) -> Tensor:
+        cfg = self.config
+        batch = images.shape[0]
+        expected = (batch, cfg.image_size, cfg.image_size, cfg.in_channels)
+        if images.shape != expected:
+            raise ValueError(f"expected images of shape {expected}, got {images.shape}")
+        grid = cfg.image_size // cfg.patch_size
+        patches = images.reshape(
+            batch, grid, cfg.patch_size, grid, cfg.patch_size, cfg.in_channels
+        )
+        patches = patches.transpose(0, 1, 3, 2, 4, 5)
+        patches = patches.reshape(batch, grid * grid, cfg.patch_dim)
+        return self.projection(patches)
+
+
+class MlpBlock(Module):
+    """The transformer MLP: Linear -> GELU -> Linear, with pre-GELU tracing."""
+
+    def __init__(self, embed_dim: int, hidden_dim: int, dropout: float = 0.0, seed: SeedLike = None) -> None:
+        super().__init__()
+        rng = as_generator(seed)
+        self.fc1 = QuantizedLinear(embed_dim, hidden_dim, seed=rng)
+        self.fc2 = QuantizedLinear(hidden_dim, embed_dim, seed=rng)
+        self.activation = GELU()
+        self.drop = Dropout(dropout, seed=rng)
+        self._last_gelu_input: Optional[np.ndarray] = None
+
+    def forward(self, x: Tensor, collect_trace: bool = False) -> Tensor:
+        hidden = self.fc1(x)
+        self._last_gelu_input = hidden.data.copy() if collect_trace else None
+        hidden = self.activation(hidden)
+        hidden = self.drop(hidden)
+        return self.drop(self.fc2(hidden))
+
+    @property
+    def last_gelu_input(self) -> Optional[np.ndarray]:
+        return self._last_gelu_input
+
+
+class EncoderBlock(Module):
+    """One transformer encoder block (Fig. 1): MSA + MLP with residuals."""
+
+    def __init__(self, config: ViTConfig, seed: SeedLike = None) -> None:
+        super().__init__()
+        rng = as_generator(seed)
+        self.norm1 = _make_norm(config.norm, config.embed_dim)
+        self.attention = MultiHeadSelfAttention(
+            config.embed_dim,
+            config.num_heads,
+            dropout=config.dropout,
+            softmax_mode=config.softmax_mode,
+            softmax_iterations=config.softmax_iterations,
+            seed=rng,
+        )
+        self.norm2 = _make_norm(config.norm, config.embed_dim)
+        self.mlp = MlpBlock(config.embed_dim, config.mlp_hidden_dim, dropout=config.dropout, seed=rng)
+        self.residual1 = ResidualQuantizer()
+        self.residual2 = ResidualQuantizer()
+        # The attention projections are QuantizedLinear only through the
+        # quantization machinery; swap the plain Linears for quantisable ones.
+        self.attention.qkv = QuantizedLinear(config.embed_dim, 3 * config.embed_dim, seed=rng)
+        self.attention.proj = QuantizedLinear(config.embed_dim, config.embed_dim, seed=rng)
+
+    def forward(self, x: Tensor, collect_trace: bool = False) -> Tensor:
+        attended = self.attention(self.norm1(x), collect_trace=collect_trace)
+        x = self.residual1(x + attended)
+        mlp_out = self.mlp(self.norm2(x), collect_trace=collect_trace)
+        x = self.residual2(x + mlp_out)
+        return x
+
+
+class CompactVisionTransformer(Module):
+    """The compact ViT used throughout the paper's network-level evaluation."""
+
+    def __init__(self, config: ViTConfig) -> None:
+        super().__init__()
+        self.config = config
+        rng = as_generator(config.seed)
+        self.patch_embedding = PatchEmbedding(config, seed=rng)
+        self.class_token = self.register_parameter(
+            "class_token", parameter(rng.normal(0.0, 0.02, size=(1, 1, config.embed_dim)))
+        )
+        self.positional_embedding = self.register_parameter(
+            "positional_embedding",
+            parameter(rng.normal(0.0, 0.02, size=(1, config.num_tokens, config.embed_dim))),
+        )
+        self.dropout = Dropout(config.dropout, seed=rng)
+        self.blocks: List[EncoderBlock] = []
+        for idx in range(config.num_layers):
+            block = EncoderBlock(config, seed=rng)
+            self.add_module(f"block{idx}", block)
+            self.blocks.append(block)
+        self.final_norm = _make_norm(config.norm, config.embed_dim)
+        self.head = QuantizedLinear(config.embed_dim, config.num_classes, seed=rng)
+
+    # --------------------------------------------------------------- forward
+    def _embed(self, images: Tensor) -> Tensor:
+        tokens = self.patch_embedding(images)
+        batch = tokens.shape[0]
+        cls = Tensor(np.ones((batch, 1, 1))) * self.class_token
+        tokens = Tensor.concatenate([cls, tokens], axis=1)
+        tokens = tokens + self.positional_embedding
+        return self.dropout(tokens)
+
+    def forward(self, images: Tensor) -> Tensor:
+        tokens = self._embed(images)
+        for block in self.blocks:
+            tokens = block(tokens)
+        tokens = self.final_norm(tokens)
+        class_embedding = tokens[:, 0, :]
+        return self.head(class_embedding)
+
+    def forward_with_trace(self, images: Tensor) -> ModelTrace:
+        """Forward pass harvesting the circuit-evaluation test vectors."""
+        tokens = self._embed(images)
+        trace = ModelTrace(logits=np.empty(0))
+        for block in self.blocks:
+            tokens = block(tokens, collect_trace=True)
+            if block.attention.last_trace is not None:
+                trace.attention_logits.append(block.attention.last_trace.logits)
+            if block.mlp.last_gelu_input is not None:
+                trace.gelu_inputs.append(block.mlp.last_gelu_input)
+            trace.residuals.append(tokens.data.copy())
+        tokens = self.final_norm(tokens)
+        logits = self.head(tokens[:, 0, :])
+        trace.logits = logits.data.copy()
+        return trace
+
+    # ------------------------------------------------------------ co-design
+    def set_softmax_mode(self, mode: str, iterations: Optional[int] = None) -> None:
+        """Switch every attention block between exact / iterative softmax."""
+        for block in self.blocks:
+            block.attention.set_softmax_mode(mode, iterations)
+
+    def apply_precision(self, scheme: PrecisionScheme) -> None:
+        """Configure every quantised layer of the model for ``scheme``."""
+        apply_precision_scheme(self, scheme)
+
+    def layer_outputs(self, images: Tensor) -> List[Tensor]:
+        """Per-block residual-stream outputs (used by the KD feature loss)."""
+        tokens = self._embed(images)
+        outputs: List[Tensor] = []
+        for block in self.blocks:
+            tokens = block(tokens)
+            outputs.append(tokens)
+        return outputs
+
+    def predict(self, images: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Class predictions for a numpy batch (inference mode, no grad)."""
+        from repro.nn.autograd import no_grad
+
+        was_training = self.training
+        self.eval()
+        predictions = []
+        with no_grad():
+            for start in range(0, len(images), batch_size):
+                chunk = Tensor(np.asarray(images[start : start + batch_size], dtype=float))
+                logits = self.forward(chunk)
+                predictions.append(np.argmax(logits.data, axis=-1))
+        if was_training:
+            self.train()
+        return np.concatenate(predictions) if predictions else np.empty(0, dtype=int)
+
+
+def build_vanilla_vit(config: Optional[ViTConfig] = None) -> CompactVisionTransformer:
+    """The FP LN-ViT baseline (first row of Table V)."""
+    config = config or ViTConfig()
+    return CompactVisionTransformer(config.with_updates(norm="ln", softmax_mode="exact"))
+
+
+def build_bn_vit(config: Optional[ViTConfig] = None) -> CompactVisionTransformer:
+    """The SC-friendly BN-ViT (LayerNorm replaced by BatchNorm, Section V)."""
+    config = config or ViTConfig()
+    return CompactVisionTransformer(config.with_updates(norm="bn"))

@@ -1,0 +1,206 @@
+"""SC arithmetic primitives.
+
+Stochastic (random) encodings:
+
+* unipolar multiplication — AND gate on two independent streams,
+* bipolar multiplication — XNOR gate,
+* scaled addition — MUX gate with a 0.5-probability select stream.
+
+Deterministic thermometer encoding (Section II-A):
+
+* multiplication — truth-table unit producing the exact product of the two
+  quantised operands at the product scale,
+* addition — concatenation of the operand streams followed by a bitonic
+  sorting network (BSN); on one-counts this is exact integer addition,
+* negation — bitwise inversion (count -> L - count),
+* division by a constant — a pure scaling-factor change, no logic at all
+  (the property the iterative softmax circuit exploits for its ``/k``).
+
+Each primitive also has a ``*_hardware`` builder so the cost model can price
+larger blocks out of the same pieces the functional emulation uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.hw.netlist import ComponentInventory, HardwareModule
+from repro.sc.bitstream import StochasticStream, ThermometerStream
+from repro.sc.sorting_network import BitonicSortingNetwork
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive_int
+
+# --------------------------------------------------------------------------
+# Stochastic (random) encodings
+# --------------------------------------------------------------------------
+
+
+def unipolar_multiply(a: StochasticStream, b: StochasticStream) -> StochasticStream:
+    """Multiply two unipolar streams with a bitwise AND."""
+    if a.encoding != "unipolar" or b.encoding != "unipolar":
+        raise ValueError("unipolar_multiply requires unipolar streams")
+    if a.length != b.length:
+        raise ValueError("streams must have equal length")
+    return StochasticStream(bits=a.bits & b.bits, encoding="unipolar")
+
+
+def bipolar_multiply(a: StochasticStream, b: StochasticStream) -> StochasticStream:
+    """Multiply two bipolar streams with a bitwise XNOR."""
+    if a.encoding != "bipolar" or b.encoding != "bipolar":
+        raise ValueError("bipolar_multiply requires bipolar streams")
+    if a.length != b.length:
+        raise ValueError("streams must have equal length")
+    xnor = 1 - (a.bits ^ b.bits)
+    return StochasticStream(bits=xnor.astype(np.int8), encoding="bipolar")
+
+
+def mux_scaled_add(
+    a: StochasticStream,
+    b: StochasticStream,
+    seed: SeedLike = None,
+) -> StochasticStream:
+    """Scaled addition ``(a + b) / 2`` with a MUX and a fair select stream."""
+    if a.encoding != b.encoding:
+        raise ValueError("streams must share an encoding")
+    if a.length != b.length:
+        raise ValueError("streams must have equal length")
+    rng = as_generator(seed)
+    select = rng.integers(0, 2, size=a.bits.shape).astype(np.int8)
+    bits = np.where(select == 1, a.bits, b.bits).astype(np.int8)
+    return StochasticStream(bits=bits, encoding=a.encoding)
+
+
+# --------------------------------------------------------------------------
+# Deterministic thermometer encoding
+# --------------------------------------------------------------------------
+
+
+def thermometer_multiply(a: ThermometerStream, b: ThermometerStream) -> ThermometerStream:
+    """Exact product of two thermometer-coded operands.
+
+    The truth-table multiplier of the deterministic SC literature produces
+    the product of the two signed quantised levels.  The natural output
+    format has length ``La * Lb / 2`` (so its signed range ``±La*Lb/4``
+    covers every possible product) and scale ``scale_a * scale_b``.
+    """
+    out_length = a.length * b.length // 2
+    if out_length * 2 != a.length * b.length:
+        raise ValueError("operand lengths must have an even product")
+    product_levels = a.signed_levels() * b.signed_levels()
+    out_scale = a.scale * b.scale
+    counts = product_levels + out_length // 2
+    return ThermometerStream(counts=counts, length=out_length, scale=out_scale)
+
+
+def thermometer_add(a: ThermometerStream, b: ThermometerStream) -> ThermometerStream:
+    """Exact sum of two thermometer operands sharing a scaling factor.
+
+    Implemented in hardware by concatenating the streams and re-sorting with
+    a BSN; on one-counts that is plain integer addition.
+    """
+    if not a.compatible_with(b):
+        raise ValueError(
+            f"BSN addition requires equal scales, got {a.scale} and {b.scale}; "
+            "re-scale one operand first (repro.sc.rescaling.align_scales)"
+        )
+    return ThermometerStream(
+        counts=a.counts + b.counts,
+        length=a.length + b.length,
+        scale=a.scale,
+    )
+
+
+def bsn_add(streams: Sequence[ThermometerStream]) -> ThermometerStream:
+    """Sum an arbitrary number of thermometer streams with one wide BSN."""
+    if not streams:
+        raise ValueError("bsn_add needs at least one stream")
+    result = streams[0]
+    for stream in streams[1:]:
+        result = thermometer_add(result, stream)
+    return result
+
+
+def negate(stream: ThermometerStream) -> ThermometerStream:
+    """Negate a thermometer value (bitwise NOT + reverse in hardware)."""
+    return ThermometerStream(
+        counts=stream.length - stream.counts,
+        length=stream.length,
+        scale=stream.scale,
+    )
+
+
+def divide_by_constant(stream: ThermometerStream, k: float) -> ThermometerStream:
+    """Divide by a constant by shrinking the scaling factor — zero hardware.
+
+    This is the trick that lets the iterative softmax avoid real dividers:
+    the ``/k`` in Algorithm 1 line 4 touches only the scale, not the bits.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    return ThermometerStream(counts=stream.counts, length=stream.length, scale=stream.scale / k)
+
+
+# --------------------------------------------------------------------------
+# Hardware builders
+# --------------------------------------------------------------------------
+
+
+def thermometer_multiplier_hardware(
+    length_a: int,
+    length_b: int,
+    name: str = "tt_mul",
+) -> HardwareModule:
+    """Structural model of the truth-table thermometer multiplier.
+
+    The unit ANDs every input-bit pair (``La * Lb`` gates) and re-sorts the
+    partial products into a thermometer output with a BSN over the output
+    width.  This is the dominant per-unit cost inside the softmax block.
+    """
+    check_positive_int(length_a, "length_a")
+    check_positive_int(length_b, "length_b")
+    out_width = max(2, length_a * length_b // 2)
+    inventory = ComponentInventory(
+        {
+            "AND2": length_a * length_b,
+            "XOR2": length_a + length_b,  # sign handling of the signed levels
+        }
+    )
+    bsn = BitonicSortingNetwork(out_width).build_hardware(name=f"{name}_sorter")
+    return HardwareModule(
+        name=f"{name}_{length_a}x{length_b}",
+        inventory=inventory,
+        critical_path=("AND2", "XOR2"),
+        cycles=1,
+        submodules=[(bsn, 1)],
+        metadata={"length_a": length_a, "length_b": length_b, "out_length": out_width},
+    )
+
+
+def bsn_adder_hardware(total_width: int, name: str = "bsn_add") -> HardwareModule:
+    """Structural model of a BSN adder over ``total_width`` concatenated bits."""
+    check_positive_int(total_width, "total_width")
+    return BitonicSortingNetwork(total_width).build_hardware(name=name)
+
+
+def stochastic_multiplier_hardware(encoding: str = "unipolar") -> HardwareModule:
+    """Single-gate stochastic multiplier (AND for unipolar, XNOR for bipolar)."""
+    cell = "AND2" if encoding == "unipolar" else "XNOR2"
+    return HardwareModule(
+        name=f"sc_mul_{encoding}",
+        inventory=ComponentInventory({cell: 1}),
+        critical_path=(cell,),
+        cycles=1,
+        metadata={"encoding": encoding},
+    )
+
+
+def mux_adder_hardware() -> HardwareModule:
+    """Single-MUX scaled adder for stochastic encodings."""
+    return HardwareModule(
+        name="sc_mux_add",
+        inventory=ComponentInventory({"MUX2": 1, "LFSR_BIT": 4}),
+        critical_path=("MUX2",),
+        cycles=1,
+    )

@@ -1,0 +1,214 @@
+"""Bitstream containers for stochastic and thermometer coding.
+
+Two containers cover everything the paper needs:
+
+* :class:`StochasticStream` stores explicit random bit arrays for the
+  traditional unipolar/bipolar encodings used by the FSM and Bernstein
+  baselines.  Bits are materialised because those designs process them
+  serially and their error *is* the random fluctuation of the bits.
+
+* :class:`ThermometerStream` stores only the one-count per value, because a
+  thermometer (deterministic) stream is fully described by how many leading
+  1s it has.  All deterministic SC arithmetic (truth-table multiply, BSN
+  add, re-scaling) is exact arithmetic on these counts, which keeps the
+  emulation fast enough to run inside a ViT forward pass.
+
+Both containers are batch-first: a single object holds a whole tensor of SC
+values, mirroring how a parallel SC accelerator processes a whole tile at
+once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.sc.encodings import (
+    bipolar_decode,
+    bipolar_encode,
+    thermometer_decode_counts,
+    thermometer_encode_counts,
+    unipolar_decode,
+    unipolar_encode,
+)
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_in_choices, check_positive_int
+
+_ENCODINGS = ("unipolar", "bipolar")
+
+
+@dataclass
+class StochasticStream:
+    """A batch of stochastic bitstreams (unipolar or bipolar encoding).
+
+    ``bits`` has shape ``values.shape + (length,)``; the last axis is the
+    bitstream (time) axis.
+    """
+
+    bits: np.ndarray
+    encoding: str = "unipolar"
+
+    def __post_init__(self) -> None:
+        check_in_choices(self.encoding, _ENCODINGS, "encoding")
+        bits = np.asarray(self.bits)
+        if bits.ndim < 1:
+            raise ValueError("bits must have at least one (stream) axis")
+        if bits.size and not np.isin(bits, (0, 1)).all():
+            raise ValueError("bits must contain only 0s and 1s")
+        self.bits = bits.astype(np.int8)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def length(self) -> int:
+        """Bitstream length (BSL)."""
+        return int(self.bits.shape[-1])
+
+    @property
+    def value_shape(self) -> Tuple[int, ...]:
+        """Shape of the encoded value tensor."""
+        return self.bits.shape[:-1]
+
+    # -------------------------------------------------------------- codecs
+    @classmethod
+    def encode(
+        cls,
+        values: np.ndarray,
+        length: int,
+        encoding: str = "unipolar",
+        seed: SeedLike = None,
+    ) -> "StochasticStream":
+        """Encode real values into random bitstreams of the given length.
+
+        Each bit is an independent Bernoulli draw with the probability given
+        by the encoding — exactly what a comparator-based SNG produces with
+        an ideal random source.  Use :class:`repro.sc.sng.StochasticNumberGenerator`
+        for LFSR-driven (correlated, hardware-faithful) generation.
+        """
+        check_positive_int(length, "length")
+        check_in_choices(encoding, _ENCODINGS, "encoding")
+        rng = as_generator(seed)
+        values = np.asarray(values, dtype=float)
+        probs = unipolar_encode(values) if encoding == "unipolar" else bipolar_encode(values)
+        draws = rng.random(values.shape + (length,))
+        bits = (draws < probs[..., None]).astype(np.int8)
+        return cls(bits=bits, encoding=encoding)
+
+    def probabilities(self) -> np.ndarray:
+        """Empirical probability of a 1 along the stream axis."""
+        return self.bits.mean(axis=-1)
+
+    def decode(self) -> np.ndarray:
+        """Decode the streams back to real values (empirical estimate)."""
+        probs = self.probabilities()
+        if self.encoding == "unipolar":
+            return unipolar_decode(probs)
+        return bipolar_decode(probs)
+
+    def ones_count(self) -> np.ndarray:
+        """Number of 1s per stream."""
+        return self.bits.sum(axis=-1)
+
+
+class ThermometerStream:
+    """A batch of deterministic thermometer-coded values.
+
+    A value ``x`` is represented as ``x = scale * (count - length / 2)``
+    where ``count`` is the number of leading 1s in the L-bit stream
+    (Section II-A of the paper).  Only the counts are stored.
+    """
+
+    def __init__(self, counts: np.ndarray, length: int, scale: float) -> None:
+        check_positive_int(length, "length")
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        counts = np.asarray(counts)
+        if counts.size and (counts.min() < 0 or counts.max() > length):
+            raise ValueError(f"counts must lie in [0, {length}]")
+        if counts.size and not np.issubdtype(counts.dtype, np.integer):
+            if not np.allclose(counts, np.round(counts)):
+                raise ValueError("counts must be integers")
+        self.counts = counts.astype(np.int64)
+        self.length = int(length)
+        self.scale = float(scale)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Shape of the encoded value tensor."""
+        return self.counts.shape
+
+    @property
+    def max_abs_value(self) -> float:
+        """Largest magnitude representable: ``scale * length / 2``."""
+        return self.scale * self.length / 2.0
+
+    @property
+    def resolution(self) -> float:
+        """Value difference between adjacent levels (= scale)."""
+        return self.scale
+
+    # -------------------------------------------------------------- codecs
+    @classmethod
+    def encode(cls, values: np.ndarray, length: int, scale: float) -> "ThermometerStream":
+        """Quantise real values onto the thermometer grid (saturating)."""
+        counts = thermometer_encode_counts(values, length, scale)
+        return cls(counts=counts, length=length, scale=scale)
+
+    @classmethod
+    def from_quantized(cls, signed_levels: np.ndarray, length: int, scale: float) -> "ThermometerStream":
+        """Build a stream from signed integer levels in ``[-L/2, L/2]``.
+
+        Useful when an upstream quantizer (e.g. LSQ in the network substrate)
+        already produced integer levels and no further rounding is wanted.
+        """
+        levels = np.asarray(signed_levels)
+        counts = levels + length // 2
+        return cls(counts=counts, length=length, scale=scale)
+
+    def decode(self) -> np.ndarray:
+        """Return the represented real values."""
+        return thermometer_decode_counts(self.counts, self.length, self.scale)
+
+    def signed_levels(self) -> np.ndarray:
+        """Signed integer levels ``count - L/2`` in ``[-L/2, L/2]``."""
+        return self.counts - self.length // 2
+
+    # ------------------------------------------------------------ utilities
+    def copy(self) -> "ThermometerStream":
+        """Deep copy (counts array is copied)."""
+        return ThermometerStream(self.counts.copy(), self.length, self.scale)
+
+    def with_counts(self, counts: np.ndarray) -> "ThermometerStream":
+        """New stream sharing length/scale but holding different counts."""
+        return ThermometerStream(counts, self.length, self.scale)
+
+    def quantization_error(self, reference: np.ndarray) -> np.ndarray:
+        """Elementwise error of this stream against reference real values."""
+        reference = np.asarray(reference, dtype=float)
+        if reference.shape != self.shape:
+            raise ValueError("reference shape must match the stream shape")
+        return self.decode() - reference
+
+    def compatible_with(self, other: "ThermometerStream", rtol: float = 1e-9) -> bool:
+        """True when two streams share scale (requirement for BSN addition)."""
+        return bool(np.isclose(self.scale, other.scale, rtol=rtol))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ThermometerStream(shape={self.shape}, length={self.length}, "
+            f"scale={self.scale:g})"
+        )
+
+
+def expand_thermometer_bits(stream: ThermometerStream) -> np.ndarray:
+    """Materialise the explicit bit patterns of a thermometer stream.
+
+    Shape: ``stream.shape + (length,)``.  Exponential in memory for long
+    streams — intended for tests, visualisation and the didactic examples,
+    not for the accelerator emulation path.
+    """
+    counts = stream.counts[..., None]
+    positions = np.arange(stream.length)
+    return (positions < counts).astype(np.int8)

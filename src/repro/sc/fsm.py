@@ -1,0 +1,209 @@
+"""FSM-based SC nonlinear function units (baseline family #1).
+
+The classical way to compute a nonlinear function on a stochastic bitstream
+is a finite state machine built around a saturating up/down counter (Brown &
+Card; used for tanh/sigmoid/ReLU by the CNN-oriented SC accelerators the
+paper cites as [6]-[9]).  The input stream drives the counter up on 1s and
+down on 0s; an output rule maps the current state (and optionally the input
+bit) to the output bit.
+
+These designs have the two weaknesses Section III-A describes:
+
+* they process the stream serially, so latency grows linearly with the BSL
+  and the output exhibits random fluctuation that only long streams average
+  out,
+* for GELU-like functions the output saturates at zero over the negative
+  input range, which is a *systematic* error no BSL can remove (Fig. 2a).
+
+The implementations here are functional bit-level simulations plus the
+structural hardware description used by the cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.hw.netlist import ComponentInventory, HardwareModule
+from repro.sc.bitstream import StochasticStream
+from repro.sc.sng import StochasticNumberGenerator
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import check_positive_int
+
+
+class FsmNonlinearUnit:
+    """Generic saturating-counter FSM processing a bipolar bitstream.
+
+    Parameters
+    ----------
+    num_states:
+        Number of counter states; the classic stanh(N/2 * x) uses the state
+        threshold rule with ``N`` states.
+    output_rule:
+        Callable ``(state, input_bit, cycle) -> output_bit`` evaluated every
+        cycle.  ``state`` is the counter value *before* the update.
+    name:
+        Unit name used for hardware reports.
+    """
+
+    def __init__(
+        self,
+        num_states: int,
+        output_rule: Callable[[np.ndarray, np.ndarray, int], np.ndarray],
+        name: str = "fsm_unit",
+    ) -> None:
+        check_positive_int(num_states, "num_states")
+        if num_states < 2:
+            raise ValueError("an FSM unit needs at least 2 states")
+        self.num_states = num_states
+        self.output_rule = output_rule
+        self.name = name
+
+    # -------------------------------------------------------------- simulate
+    def process(self, stream: StochasticStream, initial_state: Optional[int] = None) -> StochasticStream:
+        """Run the FSM over a bipolar input stream, producing a bipolar stream."""
+        if stream.encoding != "bipolar":
+            raise ValueError("FSM nonlinear units operate on bipolar streams")
+        bits = stream.bits
+        length = stream.length
+        if initial_state is None:
+            initial_state = self.num_states // 2
+        state = np.full(stream.value_shape, initial_state, dtype=np.int64)
+        out = np.empty_like(bits)
+        for cycle in range(length):
+            in_bit = bits[..., cycle]
+            out[..., cycle] = self.output_rule(state, in_bit, cycle)
+            state = np.clip(state + (2 * in_bit - 1), 0, self.num_states - 1)
+        return StochasticStream(bits=out.astype(np.int8), encoding="bipolar")
+
+    def evaluate(
+        self,
+        values: np.ndarray,
+        bitstream_length: int,
+        seed: SeedLike = None,
+        input_scale: float = 1.0,
+    ) -> np.ndarray:
+        """End-to-end: encode values, run the FSM, decode the outputs.
+
+        ``input_scale`` maps real values into the bipolar range: the encoded
+        stream represents ``value / input_scale`` and the decoded output is
+        multiplied back, mirroring how scaling factors bracket an SC unit.
+        """
+        check_positive_int(bitstream_length, "bitstream_length")
+        values = np.asarray(values, dtype=float)
+        rng = as_generator(seed)
+        scaled = np.clip(values / input_scale, -1.0, 1.0)
+        stream = StochasticStream.encode(scaled, bitstream_length, encoding="bipolar", seed=rng)
+        out_stream = self.process(stream)
+        return out_stream.decode() * input_scale
+
+    # -------------------------------------------------------------- hardware
+    def build_hardware(self, bitstream_length: int, lfsr_width: int = 8) -> HardwareModule:
+        """Counter bits + output logic + the SNG that feeds the unit.
+
+        The counter update is a cycle-to-cycle recurrence, so the design
+        cannot be pipelined across cycles; producing one result takes
+        ``bitstream_length`` clock periods of the counter's critical path.
+        """
+        check_positive_int(bitstream_length, "bitstream_length")
+        counter_bits = max(1, int(np.ceil(np.log2(self.num_states))))
+        inventory = ComponentInventory(
+            {
+                "COUNTER_BIT": counter_bits,
+                "AND2": 2,
+                "OR2": 1,
+                "MUX2": 1,
+                "DFF": 1,
+            }
+        )
+        sng = StochasticNumberGenerator(length=bitstream_length, encoding="bipolar", lfsr_width=lfsr_width)
+        return HardwareModule(
+            name=f"{self.name}_L{bitstream_length}",
+            inventory=inventory,
+            critical_path=("COUNTER_BIT", "AND2", "MUX2"),
+            cycles=bitstream_length,
+            submodules=[(sng.build_hardware(), 1)],
+            metadata={
+                "num_states": self.num_states,
+                "counter_bits": counter_bits,
+                "bitstream_length": bitstream_length,
+            },
+        )
+
+
+class FsmTanhUnit(FsmNonlinearUnit):
+    """The classic stanh FSM: output 1 when the counter is in the upper half.
+
+    Approximates ``tanh(num_states / 2 * x)`` on bipolar inputs.
+    """
+
+    def __init__(self, num_states: int = 8) -> None:
+        half = num_states // 2
+
+        def rule(state, in_bit, cycle):
+            return (state >= half).astype(np.int8)
+
+        super().__init__(num_states=num_states, output_rule=rule, name="fsm_tanh")
+
+    def reference(self, values: np.ndarray, input_scale: float = 1.0) -> np.ndarray:
+        """The mathematical function the unit approximates."""
+        x = np.asarray(values, dtype=float) / input_scale
+        return np.tanh(self.num_states / 2.0 * x) * input_scale
+
+
+class FsmReluUnit(FsmNonlinearUnit):
+    """FSM-based ReLU (the SC-DCNN / HEIF style design).
+
+    While the counter estimates the sign of the running input, the output
+    follows the input bit in the positive region and an alternating 0/1
+    pattern (value 0 in bipolar coding) in the negative region.
+    """
+
+    def __init__(self, num_states: int = 16) -> None:
+        half = num_states // 2
+
+        def rule(state, in_bit, cycle):
+            positive = state >= half
+            zero_bit = np.full_like(in_bit, cycle % 2)
+            return np.where(positive, in_bit, zero_bit).astype(np.int8)
+
+        super().__init__(num_states=num_states, output_rule=rule, name="fsm_relu")
+
+    @staticmethod
+    def reference(values: np.ndarray, input_scale: float = 1.0) -> np.ndarray:
+        """The mathematical function the unit approximates (ReLU)."""
+        return np.maximum(np.asarray(values, dtype=float), 0.0)
+
+
+class FsmGeluUnit(FsmNonlinearUnit):
+    """FSM baseline for GELU.
+
+    No published FSM design computes GELU exactly; the closest achievable
+    behaviour (and the one Fig. 2a of the paper illustrates) gates the input
+    stream by a smooth sign estimate: the output follows the input bit with a
+    probability that ramps up with the counter state, approximating
+    ``x * sigmoid(1.702 x)`` for positive inputs but saturating at zero for
+    negative inputs — the systematic error ASCEND's gate-assisted SI removes.
+    """
+
+    def __init__(self, num_states: int = 16) -> None:
+        self._gate_states = num_states
+
+        def rule(state, in_bit, cycle):
+            # The gate opens gradually across the upper half of the counter
+            # range, emulating the sigmoid factor of GELU; cycling through
+            # the threshold pattern avoids correlation with the input bit.
+            threshold = (cycle % (num_states // 2)) + num_states // 2
+            gate = state >= threshold
+            zero_bit = np.full_like(in_bit, cycle % 2)
+            return np.where(gate, in_bit, zero_bit).astype(np.int8)
+
+        super().__init__(num_states=num_states, output_rule=rule, name="fsm_gelu")
+
+    @staticmethod
+    def reference(values: np.ndarray) -> np.ndarray:
+        """Exact GELU, the target the baseline is measured against."""
+        from repro.nn.functional_math import gelu_exact
+
+        return gelu_exact(np.asarray(values, dtype=float))

@@ -1,0 +1,30 @@
+"""Small shared utilities used across the ASCEND reproduction.
+
+The package intentionally stays small: deterministic random-number handling,
+argument validation helpers and a couple of generic numeric helpers that do
+not belong to any specific subsystem.
+"""
+
+from repro.utils.rng import RngMixin, as_generator, spawn_generator
+from repro.utils.validation import (
+    check_in_choices,
+    check_positive_int,
+    check_power_of_two,
+    check_probability,
+    check_unit_interval_array,
+)
+from repro.utils.numeric import clamp, is_power_of_two, round_half_away_from_zero
+
+__all__ = [
+    "RngMixin",
+    "as_generator",
+    "spawn_generator",
+    "check_in_choices",
+    "check_positive_int",
+    "check_power_of_two",
+    "check_probability",
+    "check_unit_interval_array",
+    "clamp",
+    "is_power_of_two",
+    "round_half_away_from_zero",
+]

@@ -1,0 +1,56 @@
+"""Argument validation helpers.
+
+Raising early with a precise message is much cheaper than debugging a wrong
+bitstream length three layers down an SC circuit, so the substrate modules
+validate their structural parameters aggressively through these helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Return ``value`` if it is a positive integer, else raise ``ValueError``."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_power_of_two(value: int, name: str) -> int:
+    """Return ``value`` if it is a positive power of two, else raise."""
+    value = check_positive_int(value, name)
+    if value & (value - 1) != 0:
+        raise ValueError(f"{name} must be a power of two, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Return ``value`` if it lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_unit_interval_array(values: np.ndarray, name: str) -> np.ndarray:
+    """Return ``values`` as an array after checking every entry is in [0, 1]."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size and (arr.min() < 0.0 or arr.max() > 1.0):
+        raise ValueError(
+            f"all entries of {name} must lie in [0, 1], "
+            f"got range [{arr.min()}, {arr.max()}]"
+        )
+    return arr
+
+
+def check_in_choices(value, choices: Iterable, name: str):
+    """Return ``value`` if it is one of ``choices``, else raise ``ValueError``."""
+    options: Sequence = tuple(choices)
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options}, got {value!r}")
+    return value

@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite.
+
+Model/dataset fixtures are deliberately tiny so the whole suite stays fast;
+the full-size experiments live in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.vectors import attention_logit_vectors, gelu_input_vectors
+from repro.nn.vit import CompactVisionTransformer, ViTConfig
+from repro.training.datasets import SyntheticImageDataset
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def gelu_samples():
+    return gelu_input_vectors(2000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def logit_rows():
+    return attention_logit_vectors(64, 64, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_vit_config():
+    return ViTConfig(
+        image_size=8,
+        patch_size=4,
+        in_channels=3,
+        num_classes=4,
+        embed_dim=16,
+        num_layers=2,
+        num_heads=2,
+        mlp_ratio=2.0,
+        norm="bn",
+        seed=3,
+    )
+
+
+@pytest.fixture
+def tiny_vit(tiny_vit_config):
+    return CompactVisionTransformer(tiny_vit_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    dataset = SyntheticImageDataset(num_classes=4, image_size=8, seed=5)
+    return dataset.splits(train_size=96, test_size=48)
+
+
+@pytest.fixture(scope="session")
+def tiny_images(tiny_dataset):
+    train, _ = tiny_dataset
+    return train.images[:8]

@@ -1,0 +1,145 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.softmax_circuit import (
+    IterativeSoftmaxCircuit,
+    SoftmaxCircuitConfig,
+    calibrate_alpha_x,
+    calibrate_alpha_y,
+)
+from repro.hw.synthesis import synthesize
+from repro.nn.functional_math import softmax_exact
+
+
+def make_config(**overrides):
+    defaults = dict(m=64, iterations=3, bx=4, alpha_x=2.0, by=8, alpha_y=0.0625, s1=32, s2=8)
+    defaults.update(overrides)
+    return SoftmaxCircuitConfig(**defaults)
+
+
+class TestConfig:
+    def test_geometry(self):
+        cfg = make_config()
+        assert cfg.z_length == 16
+        assert cfg.sum_length_raw == 64 * 16
+        assert cfg.sum_length == 32
+        assert cfg.prod_length_raw == 128
+        assert cfg.prod_length == 16
+
+    def test_non_divisible_rates_are_padded(self):
+        cfg = make_config(m=17)
+        assert cfg.is_feasible()
+        assert cfg.sum_length == -(-17 * 16 // 32)
+
+    def test_excessive_rate_infeasible(self):
+        cfg = make_config(m=2, by=2, bx=2, s1=100000)
+        assert not cfg.is_feasible()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises((ValueError, TypeError)):
+            make_config(by=0)
+        with pytest.raises(ValueError):
+            make_config(alpha_y=-0.1)
+
+    def test_describe_format(self):
+        assert make_config().describe() == "[8, 32, 8, 3]"
+
+    def test_with_updates(self):
+        cfg = make_config().with_updates(by=16)
+        assert cfg.by == 16 and cfg.m == 64
+
+
+class TestCalibration:
+    def test_alpha_x_covers_most_logits(self, logit_rows):
+        alpha = calibrate_alpha_x(logit_rows, bx=4)
+        assert alpha > 0
+        covered = np.mean(np.abs(logit_rows) <= alpha * 2)
+        assert covered > 0.99
+
+    def test_alpha_y_decreases_with_by(self):
+        assert calibrate_alpha_y(16, 64) < calibrate_alpha_y(4, 64)
+
+    def test_alpha_x_requires_samples(self):
+        with pytest.raises(ValueError):
+            calibrate_alpha_x(np.array([]), 4)
+
+
+class TestCircuitForward:
+    def test_output_shape(self, logit_rows):
+        circuit = IterativeSoftmaxCircuit(make_config())
+        out = circuit.forward(logit_rows[:8])
+        assert out.shape == (8, 64)
+
+    def test_rejects_wrong_row_length(self):
+        circuit = IterativeSoftmaxCircuit(make_config())
+        with pytest.raises(ValueError):
+            circuit.forward(np.zeros((4, 32)))
+
+    def test_rejects_infeasible_config(self):
+        with pytest.raises(ValueError):
+            IterativeSoftmaxCircuit(make_config(m=2, by=2, bx=2, s1=100000))
+
+    def test_outputs_on_alpha_y_grid(self, logit_rows):
+        cfg = make_config()
+        circuit = IterativeSoftmaxCircuit(cfg)
+        out = circuit.forward(logit_rows[:4])
+        levels = out / cfg.alpha_y
+        assert np.allclose(levels, np.round(levels), atol=1e-9)
+
+    def test_mae_decreases_with_output_bsl(self, logit_rows):
+        maes = []
+        for by in (4, 8, 16):
+            cfg = make_config(by=by, alpha_y=calibrate_alpha_y(by, 64))
+            maes.append(IterativeSoftmaxCircuit(cfg).mean_absolute_error(logit_rows))
+        assert maes[0] > maes[1] > maes[2]
+
+    def test_finer_grid_tracks_exact_softmax(self, logit_rows):
+        cfg = make_config(by=64, alpha_y=calibrate_alpha_y(64, 64), s1=4, s2=2, iterations=4)
+        mae = IterativeSoftmaxCircuit(cfg).mean_absolute_error(logit_rows)
+        assert mae < 0.03
+
+    def test_uniform_rows_stay_near_uniform(self):
+        cfg = make_config()
+        out = IterativeSoftmaxCircuit(cfg).forward(np.zeros((3, 64)))
+        assert np.all(np.abs(out - 1.0 / 64) <= cfg.alpha_y)
+
+    @given(st.sampled_from([2, 4]), st.sampled_from([4, 8, 16]))
+    @settings(max_examples=12, deadline=None)
+    def test_property_outputs_bounded_by_grid_range(self, bx, by):
+        rng = np.random.default_rng(bx * by)
+        rows = rng.normal(0, 1.5, size=(4, 64))
+        cfg = make_config(bx=bx, by=by, alpha_x=calibrate_alpha_x(rows, bx), alpha_y=calibrate_alpha_y(by, 64))
+        out = IterativeSoftmaxCircuit(cfg).forward(rows)
+        assert np.all(np.abs(out) <= cfg.alpha_y * by / 2 + 1e-12)
+
+
+class TestCircuitHardware:
+    def test_area_grows_with_by(self):
+        areas = []
+        for by in (4, 8, 16):
+            cfg = make_config(by=by)
+            areas.append(synthesize(IterativeSoftmaxCircuit(cfg).build_hardware()).area_um2)
+        assert areas[0] < areas[1] < areas[2]
+
+    def test_delay_scales_with_iterations(self):
+        base = synthesize(IterativeSoftmaxCircuit(make_config(iterations=2)).build_hardware()).delay_ns
+        more = synthesize(IterativeSoftmaxCircuit(make_config(iterations=4)).build_hardware()).delay_ns
+        assert more > base
+
+    def test_subsampling_reduces_area(self):
+        fine = synthesize(IterativeSoftmaxCircuit(make_config(s1=4)).build_hardware()).area_um2
+        coarse = synthesize(IterativeSoftmaxCircuit(make_config(s1=128)).build_hardware()).area_um2
+        assert coarse < fine
+
+    def test_compute_unit_replicated_m_times(self):
+        cfg = make_config()
+        module = IterativeSoftmaxCircuit(cfg).build_hardware()
+        unit_counts = [count for sub, count in module.submodules if sub.name == "softmax_compute_unit"]
+        assert unit_counts == [64]
+
+    def test_metadata_records_parameters(self):
+        cfg = make_config()
+        report = synthesize(IterativeSoftmaxCircuit(cfg).build_hardware())
+        assert report.metadata["s1"] == 32 and report.metadata["by"] == 8

@@ -1,0 +1,91 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.softmax_iterative import IterativeSoftmax
+from repro.nn.functional_math import iterative_softmax_reference, softmax_exact
+
+
+class TestForward:
+    def test_matches_reference_implementation(self, logit_rows):
+        approx = IterativeSoftmax(iterations=3).forward(logit_rows)
+        reference = iterative_softmax_reference(logit_rows, iterations=3)
+        assert np.allclose(approx, reference)
+
+    def test_uniform_input_gives_uniform_output(self):
+        x = np.zeros((2, 8))
+        out = IterativeSoftmax(4).forward(x)
+        assert np.allclose(out, 1.0 / 8)
+
+    def test_converges_to_exact_softmax_with_many_iterations(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 1.0, size=(16, 32))
+        err_small_k = IterativeSoftmax(2).error_vs_exact(x)
+        err_large_k = IterativeSoftmax(32).error_vs_exact(x)
+        assert err_large_k < err_small_k
+
+    def test_axis_argument(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(8, 5))
+        by_axis0 = IterativeSoftmax(3, axis=0).forward(x)
+        by_default = IterativeSoftmax(3).forward(x.T).T
+        assert np.allclose(by_axis0, by_default)
+
+    def test_trajectory_lengths(self):
+        result = IterativeSoftmax(5).forward_traced(np.zeros((1, 4)))
+        assert len(result.trajectory) == 6  # init + 5 iterations
+        assert np.allclose(result.trajectory[-1], result.output)
+
+    def test_invalid_iterations(self):
+        with pytest.raises((ValueError, TypeError)):
+            IterativeSoftmax(0)
+
+    @given(st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_property_output_sums_close_to_one(self, k):
+        rng = np.random.default_rng(k)
+        x = rng.normal(0, 1.5, size=(4, 16))
+        out = IterativeSoftmax(k).forward(x)
+        # The Euler recurrence preserves the simplex sum exactly:
+        # sum(y_next) = sum(y) + (sum(z) - sum(y) * sum(z)) / k = sum(y) when sum(y) = 1.
+        assert np.allclose(out.sum(axis=-1), 1.0, atol=1e-9)
+
+
+class TestBackward:
+    def test_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 6))
+        grad_out = rng.normal(size=(2, 6))
+        block = IterativeSoftmax(3)
+        analytic = block.backward(x, grad_out)
+
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for idx in np.ndindex(*x.shape):
+            perturbed = x.copy()
+            perturbed[idx] += eps
+            upper = np.sum(block.forward(perturbed) * grad_out)
+            perturbed[idx] -= 2 * eps
+            lower = np.sum(block.forward(perturbed) * grad_out)
+            numeric[idx] = (upper - lower) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_shape_mismatch_rejected(self):
+        block = IterativeSoftmax(2)
+        with pytest.raises(ValueError):
+            block.backward(np.zeros((2, 4)), np.zeros((2, 5)))
+
+
+class TestAnalysis:
+    def test_error_vs_exact_small_for_typical_logits(self, logit_rows):
+        assert IterativeSoftmax(3).error_vs_exact(logit_rows) < 0.02
+
+    def test_convergence_curve_decreases(self, logit_rows):
+        curve = IterativeSoftmax(3).convergence_curve(logit_rows[:16], max_iterations=8)
+        assert curve.shape == (8,)
+        assert curve[-1] < curve[0]
+
+    def test_ordering_mostly_preserved(self, logit_rows):
+        fraction = IterativeSoftmax(3).preserves_ordering_fraction(logit_rows)
+        assert fraction > 0.9

@@ -1,0 +1,63 @@
+import pytest
+
+from repro.hw.cells import CellLibrary, StandardCell, default_library, tsmc28_like_library
+
+
+class TestStandardCell:
+    def test_negative_characteristics_rejected(self):
+        with pytest.raises(ValueError):
+            StandardCell("BAD", area_um2=-1.0, delay_ns=0.1)
+
+    def test_frozen(self):
+        cell = StandardCell("AND2", 0.2, 0.02)
+        with pytest.raises(Exception):
+            cell.area_um2 = 1.0
+
+
+class TestCellLibrary:
+    def test_default_library_has_core_cells(self):
+        lib = tsmc28_like_library()
+        for name in ("INV", "NAND2", "AND2", "MUX2", "DFF", "SORT_CE", "FULL_ADDER", "SRAM_BIT"):
+            assert name in lib
+
+    def test_duplicate_cells_rejected(self):
+        cell = StandardCell("X", 1.0, 0.1)
+        with pytest.raises(ValueError):
+            CellLibrary("dup", [cell, cell])
+
+    def test_unknown_cell_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            tsmc28_like_library().cell("NOT_A_CELL")
+
+    def test_area_scales_with_count(self):
+        lib = tsmc28_like_library()
+        assert lib.area("AND2", 10) == pytest.approx(10 * lib.cell("AND2").area_um2)
+
+    def test_area_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            tsmc28_like_library().area("AND2", 0)
+
+    def test_scaled_library(self):
+        lib = tsmc28_like_library()
+        scaled = lib.scaled("16nm-ish", area_scale=0.5, delay_scale=0.8)
+        assert scaled.cell("AND2").area_um2 == pytest.approx(0.5 * lib.cell("AND2").area_um2)
+        assert scaled.cell("AND2").delay_ns == pytest.approx(0.8 * lib.cell("AND2").delay_ns)
+
+    def test_scaled_rejects_bad_factors(self):
+        with pytest.raises(ValueError):
+            tsmc28_like_library().scaled("bad", 0.0, 1.0)
+
+    def test_fresh_instances_are_independent(self):
+        assert tsmc28_like_library() is not tsmc28_like_library()
+
+    def test_default_library_is_shared(self):
+        assert default_library() is default_library()
+
+    def test_iteration_and_len(self):
+        lib = tsmc28_like_library()
+        assert len(list(lib)) == len(lib) > 10
+
+    def test_composite_cells_cost_more_than_primitives(self):
+        lib = tsmc28_like_library()
+        assert lib.cell("FULL_ADDER").area_um2 > lib.cell("NAND2").area_um2
+        assert lib.cell("DFF").area_um2 > lib.cell("INV").area_um2

@@ -1,0 +1,74 @@
+import numpy as np
+import pytest
+
+from repro.hw.metrics import (
+    area_delay_product,
+    energy_proxy,
+    mean_absolute_error,
+    percentage_reduction,
+    reduction_factor,
+    root_mean_squared_error,
+)
+
+
+class TestAreaDelayProduct:
+    def test_product(self):
+        assert area_delay_product(10.0, 2.5) == pytest.approx(25.0)
+
+    def test_zero_allowed(self):
+        assert area_delay_product(0.0, 5.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            area_delay_product(-1.0, 1.0)
+
+
+class TestErrorMetrics:
+    def test_mae_simple(self):
+        assert mean_absolute_error(np.array([1.0, 2.0]), np.array([2.0, 0.0])) == pytest.approx(1.5)
+
+    def test_rmse_at_least_mae(self):
+        ref = np.array([0.0, 0.0, 0.0, 0.0])
+        measured = np.array([0.0, 0.0, 0.0, 4.0])
+        assert root_mean_squared_error(ref, measured) >= mean_absolute_error(ref, measured)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error(np.array([]), np.array([]))
+
+    def test_perfect_match_is_zero(self):
+        values = np.linspace(-1, 1, 10)
+        assert mean_absolute_error(values, values) == 0.0
+        assert root_mean_squared_error(values, values) == 0.0
+
+
+class TestReductionHelpers:
+    def test_reduction_factor(self):
+        assert reduction_factor(100.0, 20.0) == pytest.approx(5.0)
+
+    def test_reduction_factor_requires_positive_ours(self):
+        with pytest.raises(ValueError):
+            reduction_factor(10.0, 0.0)
+
+    def test_percentage_reduction(self):
+        assert percentage_reduction(0.10, 0.04) == pytest.approx(60.0)
+
+    def test_percentage_reduction_zero_baseline(self):
+        with pytest.raises(ValueError):
+            percentage_reduction(0.0, 0.1)
+
+
+class TestEnergyProxy:
+    def test_positive_inputs(self):
+        assert energy_proxy(100.0, 10.0) > 0
+
+    def test_scales_with_delay(self):
+        assert energy_proxy(100.0, 20.0) == pytest.approx(2 * energy_proxy(100.0, 10.0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            energy_proxy(-1.0, 1.0)

@@ -1,0 +1,139 @@
+import numpy as np
+import pytest
+
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.autograd import Tensor
+from repro.nn.quantization import PrecisionScheme
+from repro.nn.vit import CompactVisionTransformer, ViTConfig, build_bn_vit, build_vanilla_vit
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_shape(self):
+        attn = MultiHeadSelfAttention(embed_dim=16, num_heads=4, seed=0)
+        out = attn(Tensor(np.random.default_rng(0).normal(size=(2, 5, 16))))
+        assert out.shape == (2, 5, 16)
+
+    def test_head_split_validation(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(embed_dim=10, num_heads=3)
+
+    def test_trace_collection(self):
+        attn = MultiHeadSelfAttention(embed_dim=8, num_heads=2, seed=0)
+        x = Tensor(np.random.default_rng(1).normal(size=(1, 4, 8)))
+        attn(x, collect_trace=True)
+        trace = attn.last_trace
+        assert trace is not None
+        assert trace.logits.shape == (1, 2, 4, 4)
+        assert np.allclose(trace.weights.sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_trace_cleared_without_flag(self):
+        attn = MultiHeadSelfAttention(embed_dim=8, num_heads=2, seed=0)
+        x = Tensor(np.zeros((1, 4, 8)))
+        attn(x, collect_trace=True)
+        attn(x)
+        assert attn.last_trace is None
+
+    def test_exact_vs_iterative_softmax_modes(self):
+        x = Tensor(np.random.default_rng(2).normal(size=(1, 6, 8)))
+        attn = MultiHeadSelfAttention(embed_dim=8, num_heads=2, softmax_mode="exact", seed=0)
+        out_exact = attn(x).data
+        attn.set_softmax_mode("iterative", iterations=8)
+        out_iter = attn(x).data
+        # with many iterations the approximation is close to exact
+        assert np.allclose(out_exact, out_iter, atol=0.05)
+
+    def test_invalid_softmax_mode(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(8, 2, softmax_mode="fancy")
+
+    def test_gradients_flow_to_projections(self):
+        attn = MultiHeadSelfAttention(embed_dim=8, num_heads=2, seed=0)
+        attn(Tensor(np.random.default_rng(3).normal(size=(2, 3, 8)))).sum().backward()
+        assert attn.qkv.weight.grad is not None
+        assert attn.proj.weight.grad is not None
+
+
+class TestViTConfig:
+    def test_token_count_includes_class_token(self, tiny_vit_config):
+        assert tiny_vit_config.num_tokens == (8 // 4) ** 2 + 1
+
+    def test_invalid_patch_size(self):
+        with pytest.raises(ValueError):
+            ViTConfig(image_size=16, patch_size=5)
+
+    def test_invalid_norm(self):
+        with pytest.raises(ValueError):
+            ViTConfig(norm="rms")
+
+    def test_with_updates(self, tiny_vit_config):
+        updated = tiny_vit_config.with_updates(norm="ln")
+        assert updated.norm == "ln" and updated.embed_dim == tiny_vit_config.embed_dim
+
+
+class TestCompactVisionTransformer:
+    def test_forward_shape(self, tiny_vit, tiny_dataset):
+        train, _ = tiny_dataset
+        logits = tiny_vit(Tensor(train.images[:5]))
+        assert logits.shape == (5, tiny_vit.config.num_classes)
+
+    def test_rejects_wrong_image_shape(self, tiny_vit):
+        with pytest.raises(ValueError):
+            tiny_vit(Tensor(np.zeros((2, 10, 10, 3))))
+
+    def test_gradients_reach_all_parameters(self, tiny_vit, tiny_dataset):
+        train, _ = tiny_dataset
+        tiny_vit(Tensor(train.images[:4])).sum().backward()
+        with_grad = [name for name, p in tiny_vit.named_parameters() if p.grad is not None]
+        without = [name for name, p in tiny_vit.named_parameters() if p.grad is None]
+        assert not without, f"parameters with no gradient: {without}"
+        assert len(with_grad) == len(list(tiny_vit.named_parameters()))
+
+    def test_forward_with_trace_collects_vectors(self, tiny_vit, tiny_dataset):
+        train, _ = tiny_dataset
+        trace = tiny_vit.forward_with_trace(Tensor(train.images[:3]))
+        assert len(trace.attention_logits) == tiny_vit.config.num_layers
+        assert len(trace.gelu_inputs) == tiny_vit.config.num_layers
+        assert trace.logits.shape == (3, tiny_vit.config.num_classes)
+        tokens = tiny_vit.config.num_tokens
+        assert trace.attention_logits[0].shape[-2:] == (tokens, tokens)
+
+    def test_set_softmax_mode_changes_every_block(self, tiny_vit):
+        tiny_vit.set_softmax_mode("iterative", 5)
+        assert all(b.attention.softmax_mode == "iterative" for b in tiny_vit.blocks)
+        assert all(b.attention.softmax_iterations == 5 for b in tiny_vit.blocks)
+
+    def test_apply_precision_adds_quantizers(self, tiny_vit):
+        before = len(list(tiny_vit.named_parameters()))
+        tiny_vit.apply_precision(PrecisionScheme.parse("W2-A2-R16"))
+        after = len(list(tiny_vit.named_parameters()))
+        assert after > before  # LSQ step parameters were added
+
+    def test_apply_precision_changes_outputs(self, tiny_vit, tiny_dataset):
+        train, _ = tiny_dataset
+        x = Tensor(train.images[:4])
+        fp = tiny_vit(x).data
+        tiny_vit.apply_precision(PrecisionScheme.parse("W2-A2-R16"))
+        quantized = tiny_vit(x).data
+        assert not np.allclose(fp, quantized)
+
+    def test_layer_outputs_one_per_block(self, tiny_vit, tiny_dataset):
+        train, _ = tiny_dataset
+        outputs = tiny_vit.layer_outputs(Tensor(train.images[:2]))
+        assert len(outputs) == tiny_vit.config.num_layers
+
+    def test_predict_returns_classes(self, tiny_vit, tiny_dataset):
+        _, test = tiny_dataset
+        preds = tiny_vit.predict(test.images[:10])
+        assert preds.shape == (10,)
+        assert preds.min() >= 0 and preds.max() < tiny_vit.config.num_classes
+
+    def test_deterministic_given_seed(self, tiny_vit_config, tiny_dataset):
+        train, _ = tiny_dataset
+        a = CompactVisionTransformer(tiny_vit_config)(Tensor(train.images[:2])).data
+        b = CompactVisionTransformer(tiny_vit_config)(Tensor(train.images[:2])).data
+        assert np.allclose(a, b)
+
+    def test_builders(self):
+        config = ViTConfig(image_size=8, patch_size=4, embed_dim=16, num_layers=1, num_heads=2)
+        assert build_vanilla_vit(config).config.norm == "ln"
+        assert build_bn_vit(config).config.norm == "bn"

@@ -1,0 +1,215 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.autograd import Tensor, is_grad_enabled, no_grad, parameter
+from repro.nn.functional import numerical_gradient
+
+
+def check_gradient(fn, shape, seed=0, atol=1e-6):
+    """Compare autograd against central differences for a scalar-valued fn."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(size=shape)
+    x = Tensor(x0.copy(), requires_grad=True)
+    fn(x).backward()
+    numeric = numerical_gradient(lambda v: fn(Tensor(v)).item(), x0.copy())
+    assert np.allclose(x.grad, numeric, atol=atol), (x.grad, numeric)
+
+
+class TestBasics:
+    def test_tensor_wraps_array(self):
+        t = Tensor([[1.0, 2.0]])
+        assert t.shape == (1, 2)
+        assert t.size == 2
+        assert not t.requires_grad
+
+    def test_parameter_requires_grad(self):
+        assert parameter(np.zeros(3)).requires_grad
+
+    def test_detach_cuts_graph(self):
+        x = parameter(np.ones(3))
+        y = (x * 2).detach()
+        assert not y.requires_grad
+
+    def test_backward_on_non_scalar_requires_grad_argument(self):
+        x = parameter(np.ones(3))
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_without_grad_flag_raises(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_no_grad_context(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            x = parameter(np.ones(2))
+            y = x * 3
+            assert not y.requires_grad
+        assert is_grad_enabled()
+
+    def test_grad_accumulates_across_backward_calls(self):
+        x = parameter(np.ones(2))
+        (x.sum()).backward()
+        (x.sum()).backward()
+        assert np.allclose(x.grad, [2.0, 2.0])
+
+    def test_zero_grad(self):
+        x = parameter(np.ones(2))
+        x.sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+
+class TestArithmeticGradients:
+    def test_add(self):
+        check_gradient(lambda x: (x + 3.0).sum(), (3, 4))
+
+    def test_mul(self):
+        check_gradient(lambda x: (x * x).sum(), (2, 5))
+
+    def test_sub_and_neg(self):
+        check_gradient(lambda x: (5.0 - x - x).sum(), (4,))
+
+    def test_div(self):
+        check_gradient(lambda x: (x / 2.5).sum(), (3,))
+        check_gradient(lambda x: (1.0 / (x * x + 2.0)).sum(), (3,))
+
+    def test_pow(self):
+        check_gradient(lambda x: ((x * x + 1.0) ** 1.5).sum(), (4,))
+
+    def test_matmul(self):
+        w = np.random.default_rng(1).normal(size=(5, 3))
+        check_gradient(lambda x: (x @ Tensor(w)).sum(), (2, 5))
+
+    def test_matmul_grad_wrt_second_operand(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(size=(3, 4))
+        b = parameter(rng.normal(size=(4, 2)))
+        (Tensor(a) @ b).sum().backward()
+        numeric = numerical_gradient(lambda v: float((a @ v).sum()), b.data.copy())
+        assert np.allclose(b.grad, numeric, atol=1e-6)
+
+    def test_batched_matmul(self):
+        w = np.random.default_rng(3).normal(size=(2, 4, 3))
+        check_gradient(lambda x: ((x @ Tensor(w)) ** 2).sum(), (2, 5, 4), atol=1e-5)
+
+    def test_broadcast_add_gradient_shapes(self):
+        a = parameter(np.ones((3, 1)))
+        b = parameter(np.ones((1, 4)))
+        (a + b).sum().backward()
+        assert a.grad.shape == (3, 1) and np.allclose(a.grad, 4.0)
+        assert b.grad.shape == (1, 4) and np.allclose(b.grad, 3.0)
+
+
+class TestReductionGradients:
+    def test_sum_all(self):
+        check_gradient(lambda x: (x.sum() * 2.0), (3, 3))
+
+    def test_sum_axis_keepdims(self):
+        check_gradient(lambda x: (x.sum(axis=1, keepdims=True) ** 2).sum(), (3, 4))
+
+    def test_mean(self):
+        check_gradient(lambda x: (x.mean(axis=0) ** 2).sum(), (4, 3))
+
+    def test_var(self):
+        check_gradient(lambda x: x.var(axis=-1).sum(), (3, 6), atol=1e-5)
+
+    def test_max(self):
+        # strictly distinct values so the subgradient is unique
+        x0 = np.arange(12, dtype=float).reshape(3, 4)
+        x = Tensor(x0, requires_grad=True)
+        x.max(axis=1).sum().backward()
+        expected = np.zeros((3, 4))
+        expected[:, -1] = 1.0
+        assert np.allclose(x.grad, expected)
+
+
+class TestElementwiseGradients:
+    def test_exp(self):
+        check_gradient(lambda x: x.exp().sum(), (3, 3))
+
+    def test_log(self):
+        check_gradient(lambda x: (x * x + 1.0).log().sum(), (4,))
+
+    def test_sqrt(self):
+        check_gradient(lambda x: (x * x + 1.0).sqrt().sum(), (4,))
+
+    def test_tanh(self):
+        check_gradient(lambda x: x.tanh().sum(), (5,))
+
+    def test_erf(self):
+        check_gradient(lambda x: x.erf().sum(), (5,))
+
+    def test_relu(self):
+        x = Tensor(np.array([-1.0, 2.0, 3.0]), requires_grad=True)
+        x.relu().sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 1.0])
+
+    def test_clamp_gradient_masked_outside(self):
+        x = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        x.clamp(-1.0, 1.0).sum().backward()
+        assert np.allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_abs(self):
+        check_gradient(lambda x: (x * x + 0.5).abs().sum(), (4,))
+
+
+class TestShapeOpGradients:
+    def test_reshape(self):
+        check_gradient(lambda x: (x.reshape(6) ** 2).sum(), (2, 3))
+
+    def test_transpose(self):
+        check_gradient(lambda x: (x.transpose(1, 0) @ Tensor(np.ones((2, 3)))).sum(), (2, 4))
+
+    def test_swapaxes(self):
+        check_gradient(lambda x: (x.swapaxes(0, 1) ** 2).sum(), (2, 3))
+
+    def test_getitem_slice(self):
+        check_gradient(lambda x: (x[:, 1:3] ** 2).sum(), (3, 4))
+
+    def test_getitem_integer_index(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        x[1].sum().backward()
+        assert np.allclose(x.grad, [[0, 0, 0], [1, 1, 1]])
+
+    def test_concatenate(self):
+        a = parameter(np.ones((2, 2)))
+        b = parameter(np.ones((3, 2)))
+        Tensor.concatenate([a, b], axis=0).sum().backward()
+        assert np.allclose(a.grad, 1.0) and np.allclose(b.grad, 1.0)
+
+    def test_stack(self):
+        a = parameter(np.ones(3))
+        b = parameter(np.full(3, 2.0))
+        (Tensor.stack([a, b], axis=0) ** 2).sum().backward()
+        assert np.allclose(a.grad, 2.0)
+        assert np.allclose(b.grad, 4.0)
+
+
+class TestGraphBehaviour:
+    def test_diamond_graph_accumulates_correctly(self):
+        x = parameter(np.array([2.0]))
+        y = x * 3.0
+        z = y + y * y  # x appears through two paths
+        z.sum().backward()
+        # dz/dx = 3 + 2*9*... : z = 3x + 9x^2 -> dz/dx = 3 + 18x = 39
+        assert np.allclose(x.grad, [39.0])
+
+    def test_reused_tensor_in_multiple_ops(self):
+        x = parameter(np.array([1.0, 2.0]))
+        loss = (x * x).sum() + x.sum()
+        loss.backward()
+        assert np.allclose(x.grad, [3.0, 5.0])
+
+    @given(st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_property_linear_gradient_is_weight(self, rows, cols):
+        rng = np.random.default_rng(rows * 7 + cols)
+        w = rng.normal(size=(cols,))
+        x = Tensor(rng.normal(size=(rows, cols)), requires_grad=True)
+        (x @ Tensor(w)).sum().backward()
+        assert np.allclose(x.grad, np.tile(w, (rows, 1)))

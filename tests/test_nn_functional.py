@@ -1,0 +1,141 @@
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.autograd import Tensor
+from repro.nn.functional import numerical_gradient
+from repro.nn.functional_math import (
+    gelu_exact,
+    gelu_tanh_approximation,
+    iterative_softmax_reference,
+    layer_norm_exact,
+    log_softmax_exact,
+    sigmoid_exact,
+    softmax_exact,
+)
+
+
+class TestFunctionalMath:
+    def test_gelu_known_values(self):
+        assert gelu_exact(np.array([0.0]))[0] == pytest.approx(0.0)
+        assert gelu_exact(np.array([10.0]))[0] == pytest.approx(10.0, abs=1e-6)
+        assert gelu_exact(np.array([-10.0]))[0] == pytest.approx(0.0, abs=1e-6)
+        assert gelu_exact(np.array([-1.0]))[0] == pytest.approx(-0.15865, abs=1e-4)
+
+    def test_gelu_tanh_close_to_exact(self):
+        x = np.linspace(-4, 4, 101)
+        assert np.max(np.abs(gelu_tanh_approximation(x) - gelu_exact(x))) < 0.005
+
+    def test_softmax_rows_sum_to_one(self):
+        x = np.random.default_rng(0).normal(size=(5, 7))
+        assert np.allclose(softmax_exact(x).sum(axis=-1), 1.0)
+
+    def test_softmax_shift_invariance(self):
+        x = np.random.default_rng(1).normal(size=(3, 6))
+        assert np.allclose(softmax_exact(x), softmax_exact(x + 100.0))
+
+    def test_log_softmax_consistent(self):
+        x = np.random.default_rng(2).normal(size=(4, 5))
+        assert np.allclose(np.exp(log_softmax_exact(x)), softmax_exact(x))
+
+    def test_sigmoid_stable_for_large_inputs(self):
+        out = sigmoid_exact(np.array([-1000.0, 1000.0]))
+        assert out[0] == pytest.approx(0.0) and out[1] == pytest.approx(1.0)
+
+    def test_iterative_softmax_reference_converges(self):
+        x = np.random.default_rng(3).normal(size=(8, 16))
+        err2 = np.abs(iterative_softmax_reference(x, 2) - softmax_exact(x)).mean()
+        err16 = np.abs(iterative_softmax_reference(x, 16) - softmax_exact(x)).mean()
+        assert err16 < err2
+
+    def test_layer_norm_zero_mean_unit_var(self):
+        x = np.random.default_rng(4).normal(2.0, 3.0, size=(6, 10))
+        out = layer_norm_exact(x)
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.var(axis=-1), 1.0, atol=1e-3)
+
+
+class TestDifferentiableOps:
+    def test_gelu_matches_reference(self):
+        x = np.linspace(-3, 3, 25)
+        out = F.gelu(Tensor(x)).data
+        assert np.allclose(out, gelu_exact(x), atol=1e-9)
+
+    def test_gelu_gradient(self):
+        x0 = np.linspace(-2, 2, 9)
+        x = Tensor(x0, requires_grad=True)
+        F.gelu(x).sum().backward()
+        numeric = numerical_gradient(lambda v: F.gelu(Tensor(v)).sum().item(), x0.copy())
+        assert np.allclose(x.grad, numeric, atol=1e-6)
+
+    def test_softmax_matches_reference(self):
+        x = np.random.default_rng(0).normal(size=(4, 6))
+        assert np.allclose(F.softmax(Tensor(x)).data, softmax_exact(x))
+
+    def test_softmax_gradient(self):
+        x0 = np.random.default_rng(1).normal(size=(2, 5))
+        x = Tensor(x0, requires_grad=True)
+        (F.softmax(x) ** 2).sum().backward()
+        numeric = numerical_gradient(lambda v: ((F.softmax(Tensor(v)) ** 2).sum()).item(), x0.copy())
+        assert np.allclose(x.grad, numeric, atol=1e-6)
+
+    def test_log_softmax_gradient(self):
+        x0 = np.random.default_rng(2).normal(size=(3, 4))
+        x = Tensor(x0, requires_grad=True)
+        (F.log_softmax(x) * 0.3).sum().backward()
+        numeric = numerical_gradient(lambda v: (F.log_softmax(Tensor(v)) * 0.3).sum().item(), x0.copy())
+        assert np.allclose(x.grad, numeric, atol=1e-6)
+
+    def test_iterative_softmax_matches_numpy_reference(self):
+        x = np.random.default_rng(3).normal(size=(4, 8))
+        out = F.iterative_softmax(Tensor(x), iterations=3).data
+        assert np.allclose(out, iterative_softmax_reference(x, 3))
+
+    def test_iterative_softmax_gradient_flows(self):
+        x = Tensor(np.random.default_rng(4).normal(size=(2, 6)), requires_grad=True)
+        F.iterative_softmax(x, iterations=2).sum().backward()
+        assert x.grad is not None
+        assert x.grad.shape == (2, 6)
+
+    def test_layer_norm_affine(self):
+        x = Tensor(np.random.default_rng(5).normal(size=(3, 8)))
+        weight = Tensor(np.full(8, 2.0))
+        bias = Tensor(np.ones(8))
+        out = F.layer_norm(x, weight, bias).data
+        assert np.allclose(out.mean(axis=-1), 1.0, atol=1e-6)
+
+    def test_dropout_inference_is_identity(self):
+        x = Tensor(np.ones((4, 4)))
+        assert np.array_equal(F.dropout(x, 0.5, training=False).data, x.data)
+
+    def test_dropout_training_scales_survivors(self):
+        x = Tensor(np.ones((2000,)))
+        out = F.dropout(x, 0.25, training=True, seed=0).data
+        survivors = out[out > 0]
+        assert np.allclose(survivors, 1.0 / 0.75)
+        assert abs((out > 0).mean() - 0.75) < 0.05
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, training=True)
+
+    def test_linear(self):
+        x = Tensor(np.ones((2, 3)))
+        weight = Tensor(np.arange(12.0).reshape(4, 3))
+        out = F.linear(x, weight).data
+        assert out.shape == (2, 4)
+        assert np.allclose(out[0], weight.data.sum(axis=1))
+
+    def test_scaled_dot_product_scores_scale(self):
+        q = Tensor(np.ones((1, 2, 4)))
+        k = Tensor(np.ones((1, 2, 4)))
+        scores = F.scaled_dot_product_scores(q, k).data
+        assert np.allclose(scores, 4.0 / 2.0)
+
+    def test_one_hot(self):
+        encoded = F.one_hot(np.array([0, 2]), 3)
+        assert np.array_equal(encoded, [[1, 0, 0], [0, 0, 1]])
+
+    def test_one_hot_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)

@@ -1,0 +1,182 @@
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Tensor
+from repro.nn.layers import (
+    BatchNorm,
+    Dropout,
+    GELU,
+    Identity,
+    LayerNorm,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+)
+
+
+class TestModuleSystem:
+    def test_parameter_registration_and_naming(self):
+        layer = Linear(4, 3)
+        names = dict(layer.named_parameters())
+        assert "weight" in names and "bias" in names
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_nested_module_parameter_names(self):
+        model = Sequential(Linear(4, 4), GELU(), Linear(4, 2))
+        names = [name for name, _ in model.named_parameters()]
+        assert "0.weight" in names and "2.bias" in names
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2), Dropout(0.5))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad_clears_all(self):
+        model = Sequential(Linear(3, 3), Linear(3, 1))
+        out = model(Tensor(np.ones((2, 3))))
+        out.sum().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_state_dict_roundtrip(self):
+        a = Linear(5, 4, seed=0)
+        b = Linear(5, 4, seed=1)
+        assert not np.allclose(a.weight.data, b.weight.data)
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.weight.data, b.weight.data)
+
+    def test_load_state_dict_shape_mismatch(self):
+        a = Linear(5, 4)
+        b = Linear(5, 3)
+        with pytest.raises(ValueError):
+            b.load_state_dict(a.state_dict())
+
+    def test_load_state_dict_missing_key_strict(self):
+        a = Linear(5, 4)
+        state = a.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+
+    def test_register_parameter_type_check(self):
+        module = Module()
+        with pytest.raises(TypeError):
+            module.register_parameter("x", np.zeros(3))
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(8, 5)
+        assert layer(Tensor(np.zeros((3, 8)))).shape == (3, 5)
+
+    def test_no_bias(self):
+        layer = Linear(4, 2, bias=False)
+        assert layer.bias is None
+        assert layer.num_parameters() == 8
+
+    def test_gradients_reach_parameters(self):
+        layer = Linear(4, 2)
+        layer(Tensor(np.ones((5, 4)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_batched_input(self):
+        layer = Linear(4, 2)
+        out = layer(Tensor(np.zeros((2, 7, 4))))
+        assert out.shape == (2, 7, 2)
+
+
+class TestActivationsAndDropout:
+    def test_gelu_module(self):
+        out = GELU()(Tensor(np.array([0.0, 5.0]))).data
+        assert out[0] == pytest.approx(0.0) and out[1] == pytest.approx(5.0, abs=1e-4)
+
+    def test_relu_module(self):
+        assert np.array_equal(ReLU()(Tensor(np.array([-1.0, 2.0]))).data, [0.0, 2.0])
+
+    def test_identity(self):
+        x = Tensor(np.ones(3))
+        assert Identity()(x) is x
+
+    def test_dropout_eval_mode_identity(self):
+        drop = Dropout(0.9, seed=0)
+        drop.eval()
+        x = Tensor(np.ones((10,)))
+        assert np.array_equal(drop(x).data, x.data)
+
+    def test_dropout_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self):
+        layer = LayerNorm(16)
+        x = Tensor(np.random.default_rng(0).normal(3.0, 2.0, size=(4, 16)))
+        out = layer(x).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+
+    def test_affine_parameters_trainable(self):
+        layer = LayerNorm(8)
+        layer(Tensor(np.random.default_rng(1).normal(size=(2, 8)))).sum().backward()
+        assert layer.weight.grad is not None and layer.bias.grad is not None
+
+
+class TestBatchNorm:
+    def test_training_normalises_batch(self):
+        layer = BatchNorm(6)
+        x = Tensor(np.random.default_rng(0).normal(5.0, 3.0, size=(32, 6)))
+        out = layer(x).data
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_updated(self):
+        layer = BatchNorm(4, momentum=0.5)
+        x = Tensor(np.full((16, 4), 10.0))
+        layer(x)
+        assert np.all(layer.running_mean > 0)
+
+    def test_eval_uses_running_stats(self):
+        layer = BatchNorm(4)
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            layer(Tensor(rng.normal(2.0, 1.0, size=(64, 4))))
+        layer.eval()
+        out = layer(Tensor(np.full((2, 4), 2.0))).data
+        assert np.allclose(out, 0.0, atol=0.3)
+
+    def test_works_on_token_tensors(self):
+        layer = BatchNorm(8)
+        out = layer(Tensor(np.random.default_rng(3).normal(size=(4, 10, 8))))
+        assert out.shape == (4, 10, 8)
+
+    def test_wrong_feature_dim_rejected(self):
+        with pytest.raises(ValueError):
+            BatchNorm(8)(Tensor(np.zeros((2, 4))))
+
+    def test_folded_scale_offset(self):
+        layer = BatchNorm(4)
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            layer(Tensor(rng.normal(1.0, 2.0, size=(32, 4))))
+        layer.eval()
+        scale, offset = layer.folded_scale_offset()
+        x = rng.normal(size=(5, 4))
+        folded = x * scale + offset
+        assert np.allclose(folded, layer(Tensor(x)).data, atol=1e-9)
+
+
+class TestSequential:
+    def test_applies_in_order(self):
+        model = Sequential(Linear(4, 8, seed=0), ReLU(), Linear(8, 2, seed=1))
+        out = model(Tensor(np.random.default_rng(0).normal(size=(3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_len_and_iter(self):
+        model = Sequential(Identity(), Identity())
+        assert len(model) == 2
+        assert len(list(model)) == 2

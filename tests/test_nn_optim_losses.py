@@ -1,0 +1,192 @@
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.autograd import Tensor, parameter
+from repro.nn.layers import Linear
+from repro.nn.losses import (
+    accuracy,
+    cross_entropy,
+    distillation_loss,
+    kl_divergence_with_logits,
+    mse_loss,
+)
+from repro.nn.optim import SGD, AdamW, CosineSchedule
+from repro.nn.serialization import load_model, load_state_dict, save_model, save_state_dict
+
+
+def quadratic_problem(seed=0):
+    rng = np.random.default_rng(seed)
+    target = rng.normal(size=(4,))
+    param = parameter(np.zeros(4))
+
+    def loss_fn():
+        diff = param - Tensor(target)
+        return (diff * diff).sum()
+
+    return param, target, loss_fn
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param, target, loss_fn = quadratic_problem()
+        opt = SGD([param], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            loss_fn().backward()
+            opt.step()
+        assert np.allclose(param.data, target, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        param_a, target, loss_a = quadratic_problem(1)
+        param_b, _, loss_b = quadratic_problem(1)
+        plain, momentum = SGD([param_a], lr=0.01), SGD([param_b], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            plain.zero_grad(); loss_a().backward(); plain.step()
+            momentum.zero_grad(); loss_b().backward(); momentum.step()
+        assert np.linalg.norm(param_b.data - target) < np.linalg.norm(param_a.data - target)
+
+    def test_weight_decay_shrinks_weights(self):
+        param = parameter(np.full(3, 10.0))
+        opt = SGD([param], lr=0.1, weight_decay=0.5)
+        for _ in range(10):
+            opt.zero_grad()
+            (param * 0.0).sum().backward()
+            opt.step()
+        assert np.all(np.abs(param.data) < 10.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([parameter(np.zeros(1))], lr=0.0)
+
+
+class TestAdamW:
+    def test_converges_on_quadratic(self):
+        param, target, loss_fn = quadratic_problem(2)
+        opt = AdamW([param], lr=0.05, weight_decay=0.0)
+        for _ in range(300):
+            opt.zero_grad()
+            loss_fn().backward()
+            opt.step()
+        assert np.allclose(param.data, target, atol=1e-2)
+
+    def test_decoupled_weight_decay(self):
+        param = parameter(np.full(3, 5.0))
+        opt = AdamW([param], lr=0.01, weight_decay=0.1)
+        for _ in range(20):
+            opt.zero_grad()
+            (param * 0.0).sum().backward()
+            opt.step()
+        assert np.all(param.data < 5.0)
+
+    def test_skips_parameters_without_grad(self):
+        a, b = parameter(np.zeros(2)), parameter(np.ones(2))
+        opt = AdamW([a, b], lr=0.1)
+        (a.sum()).backward()
+        opt.step()
+        assert np.array_equal(b.data, np.ones(2))
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            AdamW([parameter(np.zeros(1))], betas=(1.0, 0.999))
+
+
+class TestCosineSchedule:
+    def test_warmup_then_decay(self):
+        opt = SGD([parameter(np.zeros(1))], lr=1.0)
+        schedule = CosineSchedule(opt, base_lr=1.0, total_steps=100, warmup_steps=10, min_lr=0.0)
+        lrs = [schedule.step() for _ in range(100)]
+        assert lrs[0] < lrs[9]  # warming up
+        assert lrs[9] == pytest.approx(1.0)
+        assert lrs[-1] < 0.01  # decayed to ~min_lr
+
+    def test_invalid_total_steps(self):
+        opt = SGD([parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            CosineSchedule(opt, 1.0, total_steps=0)
+
+
+class TestLosses:
+    def test_cross_entropy_perfect_prediction_near_zero(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_uniform_prediction(self):
+        logits = Tensor(np.zeros((4, 10)))
+        assert cross_entropy(logits, np.zeros(4, dtype=int)).item() == pytest.approx(np.log(10))
+
+    def test_cross_entropy_gradient_direction(self):
+        logits = parameter(np.zeros((1, 3)))
+        cross_entropy(logits, np.array([1])).backward()
+        assert logits.grad[0, 1] < 0  # pushes the true class logit up
+        assert logits.grad[0, 0] > 0
+
+    def test_cross_entropy_shape_checks(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 1, 2]))
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(100 * 2 / 3)
+
+    def test_kl_zero_when_distributions_match(self):
+        logits = np.random.default_rng(0).normal(size=(4, 6))
+        loss = kl_divergence_with_logits(Tensor(logits), logits)
+        assert loss.item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_kl_positive_otherwise(self):
+        rng = np.random.default_rng(1)
+        student = Tensor(rng.normal(size=(4, 6)))
+        teacher = rng.normal(size=(4, 6))
+        assert kl_divergence_with_logits(student, teacher).item() > 0
+
+    def test_kl_temperature_scaling(self):
+        rng = np.random.default_rng(2)
+        student = Tensor(rng.normal(size=(3, 5)))
+        teacher = rng.normal(size=(3, 5))
+        cold = kl_divergence_with_logits(student, teacher, temperature=1.0).item()
+        hot = kl_divergence_with_logits(student, teacher, temperature=4.0).item()
+        assert hot != pytest.approx(cold)
+
+    def test_mse_loss(self):
+        pred = Tensor(np.array([1.0, 2.0]))
+        assert mse_loss(pred, np.array([0.0, 0.0])).item() == pytest.approx(2.5)
+
+    def test_distillation_loss_combines_terms(self):
+        rng = np.random.default_rng(3)
+        student = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        teacher = rng.normal(size=(4, 5))
+        labels = np.array([0, 1, 2, 3])
+        kd_only = distillation_loss(student, teacher).item()
+        with_ce = distillation_loss(student, teacher, labels, hard_label_weight=1.0).item()
+        assert with_ce > kd_only
+
+    def test_distillation_requires_labels_for_hard_term(self):
+        with pytest.raises(ValueError):
+            distillation_loss(Tensor(np.zeros((2, 3))), np.zeros((2, 3)), hard_label_weight=0.5)
+
+
+class TestSerialization:
+    def test_state_dict_roundtrip_via_file(self, tmp_path):
+        layer = Linear(6, 3, seed=0)
+        path = save_model(tmp_path / "layer", layer)
+        restored = Linear(6, 3, seed=99)
+        load_model(path, restored)
+        assert np.allclose(layer.weight.data, restored.weight.data)
+
+    def test_save_load_state_dict_functions(self, tmp_path):
+        state = {"a": np.arange(5.0), "b": np.ones((2, 2))}
+        path = save_state_dict(tmp_path / "state.npz", state)
+        loaded = load_state_dict(path)
+        assert set(loaded) == {"a", "b"}
+        assert np.array_equal(loaded["a"], state["a"])
+
+    def test_extension_added_automatically(self, tmp_path):
+        path = save_state_dict(tmp_path / "weights", {"x": np.zeros(2)})
+        assert path.suffix == ".npz"
+        assert load_state_dict(tmp_path / "weights")["x"].shape == (2,)

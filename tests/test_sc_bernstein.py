@@ -1,0 +1,103 @@
+import numpy as np
+import pytest
+
+from repro.nn.functional_math import gelu_exact, sigmoid_exact
+from repro.sc.bernstein import BernsteinPolynomialUnit, bernstein_basis, fit_bernstein_coefficients
+
+
+class TestBernsteinBasis:
+    def test_partition_of_unity(self):
+        u = np.linspace(0, 1, 17)
+        basis = bernstein_basis(u, degree=5)
+        assert np.allclose(basis.sum(axis=1), 1.0)
+
+    def test_non_negative(self):
+        basis = bernstein_basis(np.linspace(0, 1, 33), degree=4)
+        assert np.all(basis >= -1e-12)
+
+    def test_endpoint_interpolation(self):
+        basis = bernstein_basis(np.array([0.0, 1.0]), degree=3)
+        assert basis[0, 0] == pytest.approx(1.0)
+        assert basis[1, -1] == pytest.approx(1.0)
+
+
+class TestCoefficientFit:
+    def test_coefficients_in_unit_interval(self):
+        coeffs = fit_bernstein_coefficients(lambda u: u**2, degree=4)
+        assert np.all(coeffs >= 0.0) and np.all(coeffs <= 1.0)
+
+    def test_identity_function_fit_is_accurate(self):
+        coeffs = fit_bernstein_coefficients(lambda u: u, degree=3)
+        u = np.linspace(0, 1, 50)
+        fit = bernstein_basis(u, 3) @ coeffs
+        assert np.max(np.abs(fit - u)) < 1e-6
+
+    def test_higher_degree_fits_no_worse(self):
+        target = lambda u: np.clip(0.5 + 0.4 * np.sin(4 * u), 0, 1)
+        u = np.linspace(0, 1, 200)
+        errors = []
+        for degree in (3, 5, 7):
+            coeffs = fit_bernstein_coefficients(target, degree)
+            errors.append(np.mean((bernstein_basis(u, degree) @ coeffs - target(u)) ** 2))
+        assert errors[2] <= errors[0] + 1e-9
+
+    def test_calibration_points_bias_the_fit(self):
+        target = lambda u: u**3
+        narrow = np.full(200, 0.25)
+        coeffs = fit_bernstein_coefficients(target, 3, sample_points=narrow)
+        fit_at_quarter = bernstein_basis(np.array([0.25]), 3) @ coeffs
+        assert abs(fit_at_quarter[0] - 0.25**3) < 0.02
+
+
+class TestBernsteinUnit:
+    def test_polynomial_output_within_range(self):
+        unit = BernsteinPolynomialUnit(gelu_exact, num_terms=5, input_range=3.0)
+        x = np.linspace(-3, 3, 50)
+        out = unit.polynomial(x)
+        assert out.min() >= unit.output_lo - 1e-9
+        assert out.max() <= unit.output_hi + 1e-9
+
+    def test_more_terms_reduce_approximation_error(self):
+        x = np.linspace(-3, 3, 400)
+        err4 = BernsteinPolynomialUnit(gelu_exact, 4, 3.0).approximation_error(x)
+        err6 = BernsteinPolynomialUnit(gelu_exact, 6, 3.0).approximation_error(x)
+        assert err6 <= err4 + 1e-9
+
+    def test_stochastic_error_decreases_with_bsl(self):
+        unit = BernsteinPolynomialUnit(gelu_exact, num_terms=5, input_range=3.0)
+        x = np.linspace(-2, 2, 64)
+        reference = unit.polynomial(x)
+        short = np.mean(np.abs(unit.evaluate(x, 64, seed=0) - reference))
+        long = np.mean(np.abs(unit.evaluate(x, 4096, seed=0) - reference))
+        assert long < short
+
+    def test_evaluate_tracks_target_roughly(self):
+        unit = BernsteinPolynomialUnit(sigmoid_exact, num_terms=6, input_range=4.0)
+        x = np.array([-3.0, 0.0, 3.0])
+        out = unit.evaluate(x, 4096, seed=1)
+        assert out[0] < out[1] < out[2]
+
+    def test_too_few_terms_rejected(self):
+        with pytest.raises(ValueError):
+            BernsteinPolynomialUnit(gelu_exact, num_terms=1)
+
+    def test_invalid_input_range_rejected(self):
+        with pytest.raises(ValueError):
+            BernsteinPolynomialUnit(gelu_exact, num_terms=4, input_range=-1.0)
+
+
+class TestBernsteinHardware:
+    def test_cycles_equal_bsl(self):
+        unit = BernsteinPolynomialUnit(gelu_exact, num_terms=4)
+        assert unit.build_hardware(1024).cycles == 1024
+
+    def test_area_grows_with_terms(self):
+        a4 = BernsteinPolynomialUnit(gelu_exact, 4).build_hardware(128).area_um2()
+        a6 = BernsteinPolynomialUnit(gelu_exact, 6).build_hardware(128).area_um2()
+        assert a6 > a4
+
+    def test_adp_grows_with_bsl(self):
+        from repro.hw.synthesis import synthesize
+
+        unit = BernsteinPolynomialUnit(gelu_exact, 4)
+        assert synthesize(unit.build_hardware(1024)).adp > synthesize(unit.build_hardware(128)).adp

@@ -1,0 +1,61 @@
+import numpy as np
+import pytest
+
+from repro.nn.functional_math import gelu_exact, sigmoid_exact
+from repro.sc.bitstream import ThermometerStream
+from repro.sc.selective_interconnect import NaiveSelectiveInterconnect, monotone_envelope
+
+
+class TestMonotoneEnvelope:
+    def test_already_monotone_unchanged(self):
+        levels = np.array([0, 1, 2, 3])
+        assert np.array_equal(monotone_envelope(levels), levels)
+
+    def test_dip_is_flattened(self):
+        levels = np.array([0, -1, 0, 1])
+        assert np.array_equal(monotone_envelope(levels), [0, 0, 0, 1])
+
+
+class TestNaiveSI:
+    def make_block(self, target=sigmoid_exact, in_len=32, out_len=8):
+        return NaiveSelectiveInterconnect(
+            target, input_length=in_len, input_scale=8.0 / in_len, output_length=out_len, output_scale=2.0 / out_len
+        )
+
+    def test_monotonic_function_accurate(self):
+        block = self.make_block()
+        x = np.linspace(-3, 3, 64)
+        out = block.evaluate(x)
+        assert np.mean(np.abs(out - sigmoid_exact(x))) < 0.15
+
+    def test_table_is_monotone(self):
+        block = NaiveSelectiveInterconnect(gelu_exact, 64, 0.125, 8, 0.25)
+        assert np.all(np.diff(block.table) >= 0)
+
+    def test_gelu_negative_range_error(self):
+        """Fig. 2(c): naive SI cannot represent the negative dip of GELU."""
+        block = NaiveSelectiveInterconnect(gelu_exact, 64, 0.125, 16, 0.05)
+        x = np.array([-1.0, -0.7])
+        out = block.evaluate(x)
+        assert np.all(out >= -1e-9)  # stuck at or above zero
+        assert np.all(gelu_exact(x) < -0.1)
+
+    def test_process_requires_matching_length(self):
+        block = self.make_block(in_len=32)
+        with pytest.raises(ValueError):
+            block.process(ThermometerStream.encode(np.zeros(3), 16, 0.5))
+
+    def test_deterministic_no_fluctuation(self):
+        block = self.make_block()
+        x = np.full(10, 0.37)
+        out = block.evaluate(x)
+        assert np.all(out == out[0])
+
+    def test_transition_count_positive(self):
+        assert self.make_block().transition_count() > 0
+
+    def test_hardware_includes_sorter_by_default(self):
+        block = self.make_block()
+        with_sorter = block.build_hardware(include_input_sorter=True).area_um2()
+        without = block.build_hardware(include_input_sorter=False).area_um2()
+        assert with_sorter > without

@@ -1,0 +1,72 @@
+import numpy as np
+import pytest
+
+from repro.sc.sng import LinearFeedbackShiftRegister, StochasticNumberGenerator
+
+
+class TestLfsr:
+    def test_maximal_period_visits_all_nonzero_states(self):
+        lfsr = LinearFeedbackShiftRegister(width=4, seed_state=1)
+        states = set(lfsr.sequence(15))
+        assert len(states) == 15
+        assert 0 not in states
+
+    def test_sequence_repeats_after_period(self):
+        lfsr = LinearFeedbackShiftRegister(width=5, seed_state=3)
+        first = lfsr.sequence(31)
+        second = lfsr.sequence(31)
+        assert np.array_equal(first, second)
+
+    def test_reset(self):
+        lfsr = LinearFeedbackShiftRegister(width=6, seed_state=5)
+        first = lfsr.sequence(10)
+        lfsr.reset()
+        assert np.array_equal(lfsr.sequence(10), first)
+
+    def test_unknown_width_without_taps_rejected(self):
+        with pytest.raises(ValueError):
+            LinearFeedbackShiftRegister(width=40)
+
+    def test_invalid_seed_rejected(self):
+        with pytest.raises(ValueError):
+            LinearFeedbackShiftRegister(width=4, seed_state=0)
+
+    def test_invalid_taps_rejected(self):
+        with pytest.raises(ValueError):
+            LinearFeedbackShiftRegister(width=4, taps=(9,))
+
+    def test_hardware_model(self):
+        module = LinearFeedbackShiftRegister(width=8).build_hardware()
+        assert module.total_inventory().count("LFSR_BIT") == 8
+
+
+class TestStochasticNumberGenerator:
+    def test_ideal_mode_probability_matches_value(self):
+        sng = StochasticNumberGenerator(length=4096, mode="ideal", seed=0)
+        stream = sng.generate(np.array([0.25, 0.75]))
+        assert np.allclose(stream.decode(), [0.25, 0.75], atol=0.05)
+
+    def test_lfsr_mode_is_deterministic_given_seed(self):
+        a = StochasticNumberGenerator(length=64, mode="lfsr", seed=3).generate(np.array([0.3]))
+        b = StochasticNumberGenerator(length=64, mode="lfsr", seed=3).generate(np.array([0.3]))
+        assert np.array_equal(a.bits, b.bits)
+
+    def test_lfsr_mode_probability_roughly_matches(self):
+        sng = StochasticNumberGenerator(length=255, mode="lfsr", lfsr_width=8, seed=1)
+        stream = sng.generate(np.array([0.5]))
+        assert abs(stream.decode()[0] - 0.5) < 0.1
+
+    def test_bipolar_encoding(self):
+        sng = StochasticNumberGenerator(length=2048, encoding="bipolar", mode="ideal", seed=0)
+        decoded = sng.generate(np.array([-0.5, 0.5])).decode()
+        assert decoded[0] < 0 < decoded[1]
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            StochasticNumberGenerator(length=8, mode="magic")
+
+    def test_hardware_includes_lfsr_and_comparator(self):
+        module = StochasticNumberGenerator(length=64, lfsr_width=8).build_hardware()
+        inventory = module.total_inventory()
+        assert inventory.count("LFSR_BIT") == 8
+        assert inventory.count("CMP_BIT") == 8

@@ -1,0 +1,90 @@
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sc.sorting_network import BitonicSortingNetwork
+
+
+class TestSchedule:
+    @pytest.mark.parametrize("width", [2, 4, 8, 16, 32])
+    def test_compare_exchange_closed_form(self, width):
+        bsn = BitonicSortingNetwork(width)
+        # force schedule construction and compare with the closed form
+        explicit = sum(len(stage) for stage in bsn._schedule)
+        assert explicit == bsn.num_compare_exchange
+
+    @pytest.mark.parametrize("width", [2, 4, 8, 16])
+    def test_depth_closed_form(self, width):
+        bsn = BitonicSortingNetwork(width)
+        assert len(bsn._schedule) == bsn.depth
+
+    def test_non_power_of_two_padded(self):
+        bsn = BitonicSortingNetwork(10)
+        assert bsn.padded_width == 16
+
+    def test_invalid_width(self):
+        with pytest.raises((ValueError, TypeError)):
+            BitonicSortingNetwork(0)
+
+
+class TestSortingCorrectness:
+    @pytest.mark.parametrize("width", [2, 4, 8, 16, 32])
+    def test_sorts_random_bits_descending(self, width):
+        rng = np.random.default_rng(width)
+        bits = rng.integers(0, 2, size=(20, width)).astype(np.int8)
+        sorted_bits = BitonicSortingNetwork(width).sort_bits(bits)
+        # Same number of ones, all at the front.
+        assert np.array_equal(sorted_bits.sum(axis=-1), bits.sum(axis=-1))
+        assert np.all(np.diff(sorted_bits, axis=-1) <= 0)
+
+    def test_sort_values_matches_numpy_sort(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=(10, 8))
+        sorted_vals = BitonicSortingNetwork(8).sort_values(values)
+        assert np.allclose(sorted_vals, -np.sort(-values, axis=-1))
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitonicSortingNetwork(8).sort_bits(np.zeros((2, 4), dtype=np.int8))
+
+    def test_non_binary_payload_rejected(self):
+        with pytest.raises(ValueError):
+            BitonicSortingNetwork(4).sort_bits(np.array([[0, 1, 2, 1]]))
+
+    @given(st.lists(st.integers(0, 1), min_size=6, max_size=6))
+    @settings(max_examples=80, deadline=None)
+    def test_property_output_is_thermometer(self, bits):
+        arr = np.array([bits], dtype=np.int8)
+        out = BitonicSortingNetwork(6).sort_bits(arr)[0]
+        assert out.sum() == sum(bits)
+        assert np.all(np.diff(out) <= 0)
+
+
+class TestHardwareModel:
+    def test_area_grows_superlinearly_with_width(self):
+        small = BitonicSortingNetwork(16).build_hardware().area_um2()
+        large = BitonicSortingNetwork(64).build_hardware().area_um2()
+        assert large > 4 * small  # n log^2 n growth
+
+    def test_depth_in_critical_path(self):
+        bsn = BitonicSortingNetwork(16)
+        module = bsn.build_hardware()
+        assert len(module.critical_path) == bsn.depth
+
+    def test_pipelined_variant_adds_registers_and_shortens_path(self):
+        bsn = BitonicSortingNetwork(64)
+        flat = bsn.build_hardware()
+        piped = bsn.build_hardware(pipeline_every=4)
+        assert piped.total_inventory().count("DFF") > 0
+        assert piped.combinational_delay_ns() < flat.combinational_delay_ns()
+        assert piped.area_um2() > flat.area_um2()
+
+    def test_pipeline_every_larger_than_depth_is_flat(self):
+        bsn = BitonicSortingNetwork(4)
+        module = bsn.build_hardware(pipeline_every=100)
+        assert module.total_inventory().count("DFF") == 0
+
+    def test_negative_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            BitonicSortingNetwork(4).build_hardware(pipeline_every=-1)

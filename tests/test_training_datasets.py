@@ -1,0 +1,95 @@
+import numpy as np
+import pytest
+
+from repro.training.datasets import (
+    DatasetSplit,
+    SyntheticImageDataset,
+    synthetic_cifar10,
+    synthetic_cifar100,
+)
+
+
+class TestDatasetSplit:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DatasetSplit(images=np.zeros((4, 8, 8)), labels=np.zeros(4, dtype=int))
+        with pytest.raises(ValueError):
+            DatasetSplit(images=np.zeros((4, 8, 8, 3)), labels=np.zeros(5, dtype=int))
+
+    def test_batches_cover_everything_once(self):
+        split = DatasetSplit(images=np.zeros((10, 4, 4, 3)), labels=np.arange(10))
+        seen = []
+        for _, labels in split.batches(3, shuffle=True, seed=0):
+            seen.extend(labels.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_batches_without_shuffle_are_ordered(self):
+        split = DatasetSplit(images=np.zeros((6, 4, 4, 3)), labels=np.arange(6))
+        first_batch = next(iter(split.batches(4, shuffle=False)))
+        assert np.array_equal(first_batch[1], [0, 1, 2, 3])
+
+    def test_subset(self):
+        split = DatasetSplit(images=np.zeros((10, 4, 4, 3)), labels=np.arange(10))
+        assert len(split.subset(4)) == 4
+        assert len(split.subset(100)) == 10
+
+
+class TestSyntheticImageDataset:
+    def test_sample_shapes_and_ranges(self):
+        dataset = SyntheticImageDataset(num_classes=5, image_size=8, seed=0)
+        split = dataset.sample(32, seed=1)
+        assert split.images.shape == (32, 8, 8, 3)
+        assert split.labels.min() >= 0 and split.labels.max() < 5
+        assert np.all(np.abs(split.images) <= 1.0)
+
+    def test_determinism_given_seed(self):
+        a = SyntheticImageDataset(num_classes=3, image_size=8, seed=7).sample(16, seed=2)
+        b = SyntheticImageDataset(num_classes=3, image_size=8, seed=7).sample(16, seed=2)
+        assert np.array_equal(a.images, b.images)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_classes_are_distinguishable(self):
+        """A nearest-prototype classifier must beat chance by a wide margin."""
+        dataset = SyntheticImageDataset(num_classes=4, image_size=8, noise_level=0.3, jitter=0, seed=3)
+        split = dataset.sample(200, seed=4)
+        flattened_protos = dataset.prototypes.reshape(4, -1)
+        predictions = []
+        for image in split.images:
+            arr = np.arctanh(np.clip(image, -0.999, 0.999)).reshape(-1)
+            distances = np.linalg.norm(flattened_protos - arr, axis=1)
+            predictions.append(int(np.argmin(distances)))
+        accuracy = np.mean(np.array(predictions) == split.labels)
+        assert accuracy > 0.5
+
+    def test_class_similarity_makes_task_harder(self):
+        easy = SyntheticImageDataset(num_classes=4, image_size=8, class_similarity=0.0, seed=1)
+        hard = SyntheticImageDataset(num_classes=4, image_size=8, class_similarity=0.9, seed=1)
+        easy_spread = np.std(easy.prototypes, axis=0).mean()
+        hard_spread = np.std(hard.prototypes, axis=0).mean()
+        assert hard_spread < easy_spread
+
+    def test_invalid_similarity_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticImageDataset(num_classes=2, class_similarity=1.0)
+
+    def test_splits_are_disjoint_draws(self):
+        dataset = SyntheticImageDataset(num_classes=3, image_size=8, seed=0)
+        train, test = dataset.splits(32, 16, seed=5)
+        assert len(train) == 32 and len(test) == 16
+        assert not np.array_equal(train.images[:16], test.images)
+
+
+class TestConvenienceBuilders:
+    def test_synthetic_cifar10_shapes(self):
+        train, test = synthetic_cifar10(train_size=64, test_size=32)
+        assert train.images.shape == (64, 16, 16, 3)
+        assert test.labels.max() < 10
+
+    def test_synthetic_cifar100_has_100_classes(self):
+        train, _ = synthetic_cifar100(train_size=512, test_size=32)
+        assert train.labels.max() > 50  # most classes appear in a big enough draw
+
+    def test_deterministic_across_calls(self):
+        a_train, _ = synthetic_cifar10(train_size=32, test_size=16, seed=3)
+        b_train, _ = synthetic_cifar10(train_size=32, test_size=16, seed=3)
+        assert np.array_equal(a_train.images, b_train.images)

@@ -1,0 +1,112 @@
+import numpy as np
+import pytest
+
+from repro.nn.quantization import LsqQuantizer, PrecisionScheme, QuantizedLinear
+from repro.nn.vit import CompactVisionTransformer, ViTConfig
+from repro.training.pipeline import (
+    AscendTrainingPipeline,
+    PipelineConfig,
+    PipelineResult,
+    StageResult,
+    clone_model,
+    train_baseline_low_precision,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_pipeline_setup():
+    from repro.training.datasets import SyntheticImageDataset
+
+    dataset = SyntheticImageDataset(num_classes=4, image_size=8, seed=5)
+    train, test = dataset.splits(train_size=64, test_size=32)
+    vit = ViTConfig(
+        image_size=8, patch_size=4, embed_dim=16, num_layers=1, num_heads=2, num_classes=4, norm="bn", seed=0
+    )
+    config = PipelineConfig(vit=vit, fp_epochs=1, progressive_epochs=1, finetune_epochs=1, batch_size=32)
+    return train, test, config
+
+
+class TestCloneModel:
+    def test_clone_is_independent(self, tiny_vit):
+        clone = clone_model(tiny_vit)
+        clone_param = next(iter(clone.parameters()))
+        clone_param.data += 100.0
+        original_param = next(iter(tiny_vit.parameters()))
+        assert not np.allclose(clone_param.data, original_param.data)
+
+    def test_clone_with_scheme_preserves_quantizer_steps(self, tiny_vit_config):
+        model = CompactVisionTransformer(tiny_vit_config)
+        scheme = PrecisionScheme.parse("W2-A2-R16")
+        model.apply_precision(scheme)
+        # exercise the quantisers so the steps initialise
+        from repro.nn.autograd import Tensor
+
+        model(Tensor(np.random.default_rng(0).normal(size=(2, 8, 8, 3))))
+        clone = clone_model(model, scheme)
+        for module, cloned in zip(model.modules(), clone.modules()):
+            if isinstance(module, LsqQuantizer):
+                assert float(cloned.step.data) == pytest.approx(float(module.step.data))
+                assert cloned._initialised
+
+
+class TestPipelineConfig:
+    def test_validation(self):
+        with pytest.raises((ValueError, TypeError)):
+            PipelineConfig(fp_epochs=0)
+
+    def test_training_config_helper(self):
+        config = PipelineConfig(batch_size=64, learning_rate=1e-3)
+        tc = config.training_config(epochs=5)
+        assert tc.epochs == 5 and tc.batch_size == 64 and tc.learning_rate == 1e-3
+        assert config.training_config(2, learning_rate=1e-5).learning_rate == 1e-5
+
+
+class TestPipelineStages:
+    def test_full_run_records_every_table5_row(self, tiny_pipeline_setup):
+        train, test, config = tiny_pipeline_setup
+        pipeline = AscendTrainingPipeline(train, test, config)
+        result = pipeline.run()
+        names = [stage.name for stage in result.stages]
+        assert names == [
+            "fp_ln_vit",
+            "fp_bn_vit",
+            "progressive_W16-A16-R16",
+            "progressive_W16-A2-R16",
+            "progressive_W2-A2-R16",
+            "approximate_softmax",
+            "approx_aware_finetune",
+        ]
+        assert result.final_model is not None
+        assert all(0.0 <= stage.accuracy <= 100.0 for stage in result.stages)
+
+    def test_final_model_is_quantized_and_uses_iterative_softmax(self, tiny_pipeline_setup):
+        train, test, config = tiny_pipeline_setup
+        result = AscendTrainingPipeline(train, test, config).run(include_ln_reference=False)
+        model = result.final_model
+        assert all(block.attention.softmax_mode == "iterative" for block in model.blocks)
+        quantized = [m for m in model.modules() if isinstance(m, QuantizedLinear) and m.weight_quantizer is not None]
+        assert quantized
+        assert all(q.weight_quantizer.bsl == 2 for q in quantized)
+
+    def test_summary_and_accuracy_of(self, tiny_pipeline_setup):
+        train, test, config = tiny_pipeline_setup
+        result = AscendTrainingPipeline(train, test, config).run(include_ln_reference=False)
+        summary = result.summary()
+        assert "progressive_W2-A2-R16" in summary
+        assert result.accuracy_of("fp_bn_vit") == summary["fp_bn_vit"]
+        with pytest.raises(KeyError):
+            result.accuracy_of("not_a_stage")
+
+    def test_baseline_direct_quantisation(self, tiny_pipeline_setup):
+        train, test, config = tiny_pipeline_setup
+        stage = train_baseline_low_precision(train, test, config)
+        assert stage.name == "baseline_low_precision"
+        assert 0.0 <= stage.accuracy <= 100.0
+        assert stage.history is not None
+
+
+class TestStageResultContainers:
+    def test_pipeline_result_stage_lookup(self):
+        result = PipelineResult(stages=[StageResult("a", "FP", 50.0), StageResult("b", "W2", 40.0)])
+        assert result.accuracy_of("b") == 40.0
+        assert result.summary() == {"a": 50.0, "b": 40.0}

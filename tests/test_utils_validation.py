@@ -1,0 +1,72 @@
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_in_choices,
+    check_positive_int,
+    check_power_of_two,
+    check_probability,
+    check_unit_interval_array,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_integer(self):
+        assert check_positive_int(np.int64(5), "x") == 5
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            check_positive_int(bad, "x")
+
+    @pytest.mark.parametrize("bad", [1.5, "3", True, None])
+    def test_rejects_wrong_type(self, bad):
+        with pytest.raises(TypeError):
+            check_positive_int(bad, "x")
+
+
+class TestCheckPowerOfTwo:
+    @pytest.mark.parametrize("good", [1, 2, 4, 64, 1024])
+    def test_accepts_powers(self, good):
+        assert check_power_of_two(good, "x") == good
+
+    @pytest.mark.parametrize("bad", [3, 6, 12, 100])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ValueError):
+            check_power_of_two(bad, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("good", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, good):
+        assert check_probability(good, "p") == good
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, 2.0])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ValueError):
+            check_probability(bad, "p")
+
+
+class TestCheckUnitIntervalArray:
+    def test_accepts_valid_array(self):
+        arr = check_unit_interval_array([0.0, 0.3, 1.0], "a")
+        assert arr.dtype == float
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_unit_interval_array([0.0, 1.5], "a")
+
+    def test_empty_array_is_fine(self):
+        assert check_unit_interval_array([], "a").size == 0
+
+
+class TestCheckInChoices:
+    def test_accepts_member(self):
+        assert check_in_choices("a", ("a", "b"), "x") == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValueError):
+            check_in_choices("c", ("a", "b"), "x")

@@ -1,0 +1,17 @@
+# Developer entry points.  The repo is pure python; `src` goes on PYTHONPATH.
+
+PYTEST = PYTHONPATH=src python -m pytest
+
+.PHONY: test test-fast bench
+
+## Tier-1 verification: the full suite, fail-fast.
+test:
+	$(PYTEST) -x -q
+
+## Fast dev loop: skip the slow integration/training tests.
+test-fast:
+	$(PYTEST) -x -q -m "not slow"
+
+## Packed-engine perf regression harness (writes benchmarks/results/BENCH_sc_engine.json).
+bench:
+	PYTHONPATH=src python benchmarks/bench_perf_sc_engine.py

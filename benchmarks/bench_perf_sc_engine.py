@@ -1,0 +1,274 @@
+"""Perf regression harness for the packed-bitplane SC simulation engine.
+
+Times the packed fast paths against faithful re-implementations of the seed
+(one ``int8`` per bit, cycle-by-cycle) hot loops:
+
+* stochastic multiply + decode (unipolar AND, bipolar XNOR),
+* MUX scaled addition,
+* stream encoding,
+* LFSR m-sequence generation,
+* FSM nonlinear-unit forward,
+* bitonic sorting-network bit sort.
+
+Results are printed as a table and persisted to
+``benchmarks/results/BENCH_sc_engine.json`` with ops/sec for both paths so
+future PRs can track the perf trajectory (compare the ``packed_ops_per_s``
+column across commits; the legacy column only moves with numpy/hardware).
+
+Run it directly (no pytest needed)::
+
+    make bench
+    # or
+    PYTHONPATH=src python benchmarks/bench_perf_sc_engine.py
+
+or through pytest, which additionally asserts the headline >= 10x speedup::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_perf_sc_engine.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # allow `python benchmarks/bench_perf_sc_engine.py`
+    sys.path.insert(0, str(_SRC))
+
+from repro.sc.arithmetic import bipolar_multiply, mux_scaled_add, unipolar_multiply
+from repro.sc.bitstream import StochasticStream
+from repro.sc.fsm import FsmGeluUnit
+from repro.sc.sng import LinearFeedbackShiftRegister
+from repro.sc.sorting_network import BitonicSortingNetwork
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: The acceptance configuration: a 64x64 value tensor at BSL 256.
+VALUE_SHAPE = (64, 64)
+BSL = 256
+
+
+# ---------------------------------------------------------------------------
+# Legacy (seed) reference implementations: one int8 per bit, per-cycle loops.
+# ---------------------------------------------------------------------------
+
+
+def _legacy_validate(bits: np.ndarray) -> np.ndarray:
+    """The seed StochasticStream constructor: isin scan + int8 cast."""
+    if bits.size and not np.isin(bits, (0, 1)).all():
+        raise ValueError("bits must contain only 0s and 1s")
+    return bits.astype(np.int8)
+
+
+def legacy_unipolar_multiply_decode(a_bits: np.ndarray, b_bits: np.ndarray) -> np.ndarray:
+    bits = _legacy_validate(a_bits & b_bits)
+    return bits.mean(axis=-1)
+
+
+def legacy_bipolar_multiply_decode(a_bits: np.ndarray, b_bits: np.ndarray) -> np.ndarray:
+    bits = _legacy_validate((1 - (a_bits ^ b_bits)).astype(np.int8))
+    return 2.0 * bits.mean(axis=-1) - 1.0
+
+
+def legacy_mux_add(a_bits: np.ndarray, b_bits: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    select = rng.integers(0, 2, size=a_bits.shape).astype(np.int8)
+    return _legacy_validate(np.where(select == 1, a_bits, b_bits).astype(np.int8))
+
+
+def legacy_encode(values: np.ndarray, length: int, rng: np.random.Generator) -> np.ndarray:
+    draws = rng.random(values.shape + (length,))
+    return _legacy_validate((draws < values[..., None]).astype(np.int8))
+
+
+def legacy_lfsr_sequence(width: int, length: int) -> np.ndarray:
+    lfsr = LinearFeedbackShiftRegister(width)
+    tap_mask = lfsr._tap_mask
+    state = lfsr.state
+    out = np.empty(length, dtype=np.int64)
+    for i in range(length):
+        lsb = state & 1
+        state >>= 1
+        if lsb:
+            state ^= tap_mask
+        out[i] = state
+    return out
+
+
+def legacy_fsm_forward(unit: FsmGeluUnit, stream: StochasticStream) -> np.ndarray:
+    bits = stream.bits
+    state = np.full(stream.value_shape, unit.num_states // 2, dtype=np.int64)
+    out = np.empty_like(bits)
+    for cycle in range(stream.length):
+        in_bit = bits[..., cycle]
+        out[..., cycle] = unit.output_rule(state, in_bit, cycle)
+        state = np.clip(state + (2 * in_bit - 1), 0, unit.num_states - 1)
+    return _legacy_validate(out)
+
+
+def legacy_sort_bits(bsn: BitonicSortingNetwork, bits: np.ndarray) -> np.ndarray:
+    work = np.zeros(bits.shape[:-1] + (bsn.padded_width,), dtype=np.int8)
+    work[..., : bsn.width] = bits
+    for stage in bsn._schedule:
+        for hi, lo in stage:
+            a = work[..., hi].copy()
+            b = work[..., lo].copy()
+            work[..., hi] = a | b
+            work[..., lo] = a & b
+    return work[..., : bsn.width]
+
+
+# ---------------------------------------------------------------------------
+# Timing scaffold
+# ---------------------------------------------------------------------------
+
+
+def _time_per_op(fn, min_seconds: float = 0.15, max_rounds: int = 200) -> float:
+    """Best-effort seconds/op: warm up once, then average over repeat calls."""
+    fn()  # warmup (fills caches, triggers lazy packing)
+    rounds = 0
+    elapsed = 0.0
+    best = np.inf
+    while elapsed < min_seconds and rounds < max_rounds:
+        start = time.perf_counter()
+        fn()
+        delta = time.perf_counter() - start
+        best = min(best, delta)
+        elapsed += delta
+        rounds += 1
+    return best
+
+
+def _entry(name: str, legacy_s: float, packed_s: float, note: str = "") -> dict:
+    return {
+        "name": name,
+        "legacy_ops_per_s": 1.0 / legacy_s,
+        "packed_ops_per_s": 1.0 / packed_s,
+        "speedup": legacy_s / packed_s,
+        "note": note,
+    }
+
+
+def run_benchmarks(value_shape=VALUE_SHAPE, bsl=BSL) -> dict:
+    rng = np.random.default_rng(2024)
+    uni_values = rng.random(value_shape)
+    bi_values = rng.random(value_shape) * 2.0 - 1.0
+
+    a_uni = StochasticStream.encode(uni_values, bsl, seed=1)
+    b_uni = StochasticStream.encode(uni_values[::-1], bsl, seed=2)
+    a_bi = StochasticStream.encode(bi_values, bsl, encoding="bipolar", seed=3)
+    b_bi = StochasticStream.encode(-bi_values, bsl, encoding="bipolar", seed=4)
+    for s in (a_uni, b_uni, a_bi, b_bi):
+        s.packed, s.bits  # materialise both representations outside the timers
+
+    a_bits, b_bits = a_uni.bits, b_uni.bits
+    ab_bits, bb_bits = a_bi.bits, b_bi.bits
+
+    entries = []
+
+    # --- multiply + decode (the acceptance metric) ---------------------------
+    legacy = _time_per_op(lambda: legacy_unipolar_multiply_decode(a_bits, b_bits))
+    packed = _time_per_op(lambda: unipolar_multiply(a_uni, b_uni).decode())
+    entries.append(_entry("unipolar_multiply_decode", legacy, packed, "AND + popcount decode"))
+
+    legacy = _time_per_op(lambda: legacy_bipolar_multiply_decode(ab_bits, bb_bits))
+    packed = _time_per_op(lambda: bipolar_multiply(a_bi, b_bi).decode())
+    entries.append(_entry("bipolar_multiply_decode", legacy, packed, "XNOR + popcount decode"))
+
+    # --- MUX scaled add ------------------------------------------------------
+    rng_legacy = np.random.default_rng(7)
+    rng_packed = np.random.default_rng(7)
+    legacy = _time_per_op(lambda: legacy_mux_add(a_bits, b_bits, rng_legacy))
+    packed = _time_per_op(lambda: mux_scaled_add(a_uni, b_uni, seed=rng_packed))
+    entries.append(_entry("mux_scaled_add", legacy, packed, "select draw dominates both paths"))
+
+    # --- encode --------------------------------------------------------------
+    rng_legacy = np.random.default_rng(11)
+    rng_packed = np.random.default_rng(11)
+    legacy = _time_per_op(lambda: legacy_encode(uni_values, bsl, rng_legacy))
+    packed = _time_per_op(lambda: StochasticStream.encode(uni_values, bsl, seed=rng_packed))
+    entries.append(_entry("encode", legacy, packed, "Bernoulli draws dominate both paths"))
+
+    # --- decode only ---------------------------------------------------------
+    legacy = _time_per_op(lambda: a_bits.mean(axis=-1))
+    packed = _time_per_op(lambda: a_uni.packed.popcount())
+    entries.append(_entry("decode", legacy, packed, "int8 mean vs word popcount"))
+
+    # --- LFSR sequence -------------------------------------------------------
+    width, seq_len = 16, 4096
+    lfsr = LinearFeedbackShiftRegister(width)
+    lfsr.sequence(1)  # prime the cycle cache
+    legacy = _time_per_op(lambda: legacy_lfsr_sequence(width, seq_len))
+    packed = _time_per_op(lambda: lfsr.sequence(seq_len))
+    entries.append(_entry("lfsr_sequence_4096", legacy, packed, "cached m-sequence gather"))
+
+    # --- FSM forward ---------------------------------------------------------
+    unit = FsmGeluUnit()
+    fsm_stream = StochasticStream.encode(bi_values, bsl, encoding="bipolar", seed=5)
+    fsm_stream.packed, fsm_stream.bits
+    legacy = _time_per_op(lambda: legacy_fsm_forward(unit, fsm_stream))
+    packed = _time_per_op(lambda: unit.process(fsm_stream))
+    entries.append(_entry("fsm_gelu_forward", legacy, packed, "transition-table scan + vectorised rule"))
+
+    # --- sorting network -----------------------------------------------------
+    bsn = BitonicSortingNetwork(128)
+    sort_bits = (rng.random((256, 128)) < 0.5).astype(np.int8)
+    legacy = _time_per_op(lambda: legacy_sort_bits(bsn, sort_bits))
+    packed = _time_per_op(lambda: bsn.sort_bits(sort_bits))
+    entries.append(_entry("bsn_sort_bits_128", legacy, packed, "per-stage gather/scatter"))
+
+    return {
+        "value_shape": list(value_shape),
+        "bitstream_length": bsl,
+        "numpy_version": np.__version__,
+        "benchmarks": entries,
+    }
+
+
+def _print_report(payload: dict) -> None:
+    print(f"\n=== packed SC engine vs legacy int8 path "
+          f"({payload['value_shape']} values, BSL={payload['bitstream_length']}) ===")
+    header = f"{'benchmark':<28} {'legacy ops/s':>14} {'packed ops/s':>14} {'speedup':>9}"
+    print(header)
+    print("-" * len(header))
+    for row in payload["benchmarks"]:
+        print(
+            f"{row['name']:<28} {row['legacy_ops_per_s']:>14.1f} "
+            f"{row['packed_ops_per_s']:>14.1f} {row['speedup']:>8.1f}x"
+        )
+
+
+def save_report(payload: dict) -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_sc_engine.json"
+    out_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out_path
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point — asserts the acceptance speedup and bit-identity.
+# ---------------------------------------------------------------------------
+
+
+def test_perf_sc_engine():
+    payload = run_benchmarks()
+    _print_report(payload)
+    save_report(payload)
+    by_name = {row["name"]: row for row in payload["benchmarks"]}
+    # Acceptance: >= 10x for packed multiply+decode at BSL=256 on 64x64 values.
+    assert by_name["unipolar_multiply_decode"]["speedup"] >= 10.0
+    assert by_name["bipolar_multiply_decode"]["speedup"] >= 10.0
+    # The packed path must be bit-identical to the legacy ops, not just fast.
+    a = StochasticStream.encode(np.random.default_rng(0).random(VALUE_SHAPE), BSL, seed=1)
+    b = StochasticStream.encode(np.random.default_rng(1).random(VALUE_SHAPE), BSL, seed=2)
+    assert np.array_equal(unipolar_multiply(a, b).bits, (a.bits & b.bits).astype(np.int8))
+
+
+if __name__ == "__main__":
+    report = run_benchmarks()
+    _print_report(report)
+    path = save_report(report)
+    print(f"\nsaved {path}")

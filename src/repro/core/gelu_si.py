@@ -84,7 +84,9 @@ class GateAssistedSIBlock:
         x = self.input_scale * (counts - self.input_length / 2.0)
         y = np.asarray(self.target(x), dtype=float)
         levels = np.round(y / self.output_scale).astype(np.int64)
-        levels = np.clip(levels, -self.output_length // 2, self.output_length // 2)
+        # Clip symmetrically to ±(L // 2): for odd L, ``-L // 2`` floors to
+        # -(L + 1)//2, which would let table counts go negative.
+        levels = np.clip(levels, -(self.output_length // 2), self.output_length // 2)
         return (levels + self.output_length // 2).astype(np.int64)
 
     def quantized_function(self, values: np.ndarray) -> np.ndarray:
@@ -100,7 +102,12 @@ class GateAssistedSIBlock:
                 f"block expects input length {self.input_length}, got {stream.length}"
             )
         counts = self.table[stream.counts]
-        return ThermometerStream(counts=counts, length=self.output_length, scale=self.output_scale)
+        # Table entries are clipped onto [0, output_length] at build time, so
+        # the constructor's range scan is skipped on this per-call hot path
+        # (the SC-ViT evaluator routes every GELU activation through here).
+        return ThermometerStream(
+            counts=counts, length=self.output_length, scale=self.output_scale, validate=False
+        )
 
     def evaluate(self, values: np.ndarray) -> np.ndarray:
         """End-to-end: encode real values, run the block, decode the outputs."""

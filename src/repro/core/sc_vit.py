@@ -56,6 +56,11 @@ class ScViTEvaluator:
         When given, GELU activations are also routed through a gate-assisted
         SI block of that output BSL; ``None`` keeps the exact GELU so the
         effect of the softmax block can be isolated (the Table VI setting).
+    calibration_logits:
+        Pre-collected attention logits for the ``alpha_x`` calibration.
+        When several evaluators share one model (the Table VI sweep),
+        collecting the logits once and passing them here avoids re-running
+        the calibration forward passes per configuration.
     """
 
     def __init__(
@@ -65,15 +70,17 @@ class ScViTEvaluator:
         gelu_output_bsl: Optional[int] = None,
         calibration_images: Optional[np.ndarray] = None,
         calibrate: bool = True,
+        calibration_logits: Optional[np.ndarray] = None,
     ) -> None:
         self.model = model
         tokens = model.config.num_tokens
         config = softmax_config.clamped_to_vector_length(tokens)
-        if calibrate and calibration_images is not None:
+        if calibrate and calibration_logits is None and calibration_images is not None:
             from repro.evaluation.vectors import collect_softmax_inputs
 
-            logits = collect_softmax_inputs(model, calibration_images, max_rows=512)
-            config = config.with_updates(alpha_x=calibrate_alpha_x(logits, config.bx))
+            calibration_logits = collect_softmax_inputs(model, calibration_images, max_rows=512)
+        if calibrate and calibration_logits is not None:
+            config = config.with_updates(alpha_x=calibrate_alpha_x(calibration_logits, config.bx))
         self.softmax_circuit = IterativeSoftmaxCircuit(config)
         self.gelu_block: Optional[GeluSIBlock] = None
         if gelu_output_bsl is not None:
@@ -150,8 +157,14 @@ def evaluate_softmax_configurations(
     This is the inner loop of the Table VI bench: the same trained weights,
     different ``[By, s1, s2, k]`` softmax blocks.
     """
+    from repro.evaluation.vectors import collect_softmax_inputs
+
+    # One calibration pass shared by every configuration: the logits depend
+    # only on the model, not on the circuit parameters being swept.
+    calibration_images = split.images[: min(64, len(split))]
+    calibration_logits = collect_softmax_inputs(model, calibration_images, max_rows=512)
     results: Dict[str, ScViTEvaluationResult] = {}
     for name, config in configs.items():
-        evaluator = ScViTEvaluator(model, config, calibration_images=split.images[: min(64, len(split))])
+        evaluator = ScViTEvaluator(model, config, calibration_logits=calibration_logits)
         results[name] = evaluator.evaluate(split, batch_size=batch_size, max_images=max_images)
     return results

@@ -182,8 +182,10 @@ class IterativeSoftmaxCircuit:
         # zero the recurrence z = x * y could never leave the all-zero state.
         init_level = max(1, int(round((1.0 / cfg.m) / cfg.alpha_y)))
         init_level = min(init_level, cfg.by // 2)
+        # init_level is clamped to [1, By/2] above, so the range scan of the
+        # constructor would be pure overhead on this per-row hot path.
         y_stream = ThermometerStream.from_quantized(
-            np.full(x.shape, init_level, dtype=np.int64), cfg.by, cfg.alpha_y
+            np.full(x.shape, init_level, dtype=np.int64), cfg.by, cfg.alpha_y, validate=False
         )
 
         z_grid = cfg.alpha_x * cfg.alpha_y  # value of one signed level of a z stream

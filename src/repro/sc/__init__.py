@@ -22,6 +22,7 @@ the hardware cost model via a ``build_hardware()`` method.
 """
 
 from repro.sc.bitstream import StochasticStream, ThermometerStream
+from repro.sc.packed import PackedBitPlane
 from repro.sc.encodings import (
     bipolar_decode,
     bipolar_encode,
@@ -48,6 +49,7 @@ from repro.sc.selective_interconnect import NaiveSelectiveInterconnect
 
 __all__ = [
     "StochasticStream",
+    "PackedBitPlane",
     "ThermometerStream",
     "unipolar_encode",
     "unipolar_decode",

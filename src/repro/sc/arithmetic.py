@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.hw.netlist import ComponentInventory, HardwareModule
 from repro.sc.bitstream import StochasticStream, ThermometerStream
+from repro.sc.packed import PackedBitPlane
 from repro.sc.sorting_network import BitonicSortingNetwork
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive_int
@@ -38,22 +39,25 @@ from repro.utils.validation import check_positive_int
 
 
 def unipolar_multiply(a: StochasticStream, b: StochasticStream) -> StochasticStream:
-    """Multiply two unipolar streams with a bitwise AND."""
+    """Multiply two unipolar streams with a bitwise AND.
+
+    Runs word-wise on the packed bitplanes (64 stream bits per machine op);
+    the result is bit-identical to ANDing the explicit ``int8`` arrays.
+    """
     if a.encoding != "unipolar" or b.encoding != "unipolar":
         raise ValueError("unipolar_multiply requires unipolar streams")
     if a.length != b.length:
         raise ValueError("streams must have equal length")
-    return StochasticStream(bits=a.bits & b.bits, encoding="unipolar")
+    return StochasticStream(packed=a.packed & b.packed, encoding="unipolar")
 
 
 def bipolar_multiply(a: StochasticStream, b: StochasticStream) -> StochasticStream:
-    """Multiply two bipolar streams with a bitwise XNOR."""
+    """Multiply two bipolar streams with a bitwise XNOR (packed fast path)."""
     if a.encoding != "bipolar" or b.encoding != "bipolar":
         raise ValueError("bipolar_multiply requires bipolar streams")
     if a.length != b.length:
         raise ValueError("streams must have equal length")
-    xnor = 1 - (a.bits ^ b.bits)
-    return StochasticStream(bits=xnor.astype(np.int8), encoding="bipolar")
+    return StochasticStream(packed=a.packed.xnor(b.packed), encoding="bipolar")
 
 
 def mux_scaled_add(
@@ -61,15 +65,23 @@ def mux_scaled_add(
     b: StochasticStream,
     seed: SeedLike = None,
 ) -> StochasticStream:
-    """Scaled addition ``(a + b) / 2`` with a MUX and a fair select stream."""
+    """Scaled addition ``(a + b) / 2`` with a MUX and a fair select stream.
+
+    The select stream is drawn exactly as in the explicit-bit implementation
+    (one Bernoulli draw per cycle, so seeded results are reproducible across
+    versions); the MUX itself runs as three word-wise ops on the packed
+    planes.
+    """
     if a.encoding != b.encoding:
         raise ValueError("streams must share an encoding")
     if a.length != b.length:
         raise ValueError("streams must have equal length")
     rng = as_generator(seed)
-    select = rng.integers(0, 2, size=a.bits.shape).astype(np.int8)
-    bits = np.where(select == 1, a.bits, b.bits).astype(np.int8)
-    return StochasticStream(bits=bits, encoding=a.encoding)
+    # Same draw call as the explicit-bit implementation so seeded results
+    # stay reproducible across versions.
+    select = rng.integers(0, 2, size=a.value_shape + (a.length,)).astype(np.uint8)
+    select_plane = PackedBitPlane.from_bits(select)
+    return StochasticStream(packed=select_plane.mux(a.packed, b.packed), encoding=a.encoding)
 
 
 # --------------------------------------------------------------------------
@@ -91,7 +103,12 @@ def thermometer_multiply(a: ThermometerStream, b: ThermometerStream) -> Thermome
     product_levels = a.signed_levels() * b.signed_levels()
     out_scale = a.scale * b.scale
     counts = product_levels + out_length // 2
-    return ThermometerStream(counts=counts, length=out_length, scale=out_scale)
+    # For even operand lengths the signed levels are symmetric (±L/2), so
+    # products provably land on [0, out_length] and the range scan can be
+    # skipped.  An odd operand length has asymmetric levels whose products
+    # can overflow the output grid — keep the constructor's check there.
+    needs_check = bool(a.length % 2 or b.length % 2)
+    return ThermometerStream(counts=counts, length=out_length, scale=out_scale, validate=needs_check)
 
 
 def thermometer_add(a: ThermometerStream, b: ThermometerStream) -> ThermometerStream:
@@ -109,6 +126,7 @@ def thermometer_add(a: ThermometerStream, b: ThermometerStream) -> ThermometerSt
         counts=a.counts + b.counts,
         length=a.length + b.length,
         scale=a.scale,
+        validate=False,
     )
 
 
@@ -128,6 +146,7 @@ def negate(stream: ThermometerStream) -> ThermometerStream:
         counts=stream.length - stream.counts,
         length=stream.length,
         scale=stream.scale,
+        validate=False,
     )
 
 
@@ -139,7 +158,7 @@ def divide_by_constant(stream: ThermometerStream, k: float) -> ThermometerStream
     """
     if k <= 0:
         raise ValueError("k must be positive")
-    return ThermometerStream(counts=stream.counts, length=stream.length, scale=stream.scale / k)
+    return ThermometerStream(counts=stream.counts, length=stream.length, scale=stream.scale / k, validate=False)
 
 
 # --------------------------------------------------------------------------

@@ -170,6 +170,12 @@ class BernsteinPolynomialUnit:
         probability are summed; the sum selects which coefficient's stochastic
         bit is forwarded to the output.  The decoded output is the empirical
         probability mapped back to the real output range.
+
+        .. note::
+           Since the packed-engine refactor this draws one uniform per
+           output bit instead of one per coefficient stream, so seeded noise
+           realisations differ from earlier versions (the distribution of
+           the outputs is unchanged — only the per-seed sample moves).
         """
         check_positive_int(bitstream_length, "bitstream_length")
         rng = as_generator(seed)
@@ -182,10 +188,12 @@ class BernsteinPolynomialUnit:
         input_bits = draws < flat_u[:, None, None]
         select = input_bits.sum(axis=1)  # in [0, degree]
 
-        coeff_draws = rng.random((flat_u.size, self.num_terms, bitstream_length))
-        coeff_bits = coeff_draws < self.coefficients[None, :, None]
-
-        out_bits = np.take_along_axis(coeff_bits, select[:, None, :], axis=1)[:, 0, :]
+        # Only the selected coefficient's stochastic bit reaches the output
+        # each cycle, so one uniform draw per output bit compared against the
+        # selected coefficient suffices — the num_terms unselected coefficient
+        # streams of the hardware never need to be materialised.
+        coeff_draws = rng.random((flat_u.size, bitstream_length))
+        out_bits = coeff_draws < self.coefficients[select]
         v = out_bits.mean(axis=1)
         return self._v_to_y(v).reshape(values.shape)
 

@@ -20,7 +20,6 @@ once.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
@@ -33,44 +32,105 @@ from repro.sc.encodings import (
     unipolar_decode,
     unipolar_encode,
 )
+from repro.sc.packed import PackedBitPlane
 from repro.utils.rng import SeedLike, as_generator
-from repro.utils.validation import check_in_choices, check_positive_int
+from repro.utils.validation import check_binary_array, check_in_choices, check_positive_int
 
 _ENCODINGS = ("unipolar", "bipolar")
 
 
-@dataclass
 class StochasticStream:
     """A batch of stochastic bitstreams (unipolar or bipolar encoding).
 
     ``bits`` has shape ``values.shape + (length,)``; the last axis is the
     bitstream (time) axis.
+
+    Internally the stream holds at least one of two equivalent
+    representations and converts between them lazily:
+
+    * an explicit ``int8`` bit array (the seed representation, still what
+      the public ``bits`` attribute exposes), and
+    * a :class:`repro.sc.packed.PackedBitPlane` storing 64 bits per
+      ``uint64`` word, which is what the SC arithmetic fast paths operate
+      on (word-wise AND/XNOR/MUX, popcount decode).
+
+    Construction from explicit bits validates them by default; internal fast
+    paths that produce bits by construction pass ``validate=False``.  The two
+    representations are bit-for-bit interchangeable; converting never changes
+    a single bit.  (The cached packed view assumes ``bits`` is not mutated in
+    place afterwards — assign a fresh array to ``bits`` instead.)
     """
 
-    bits: np.ndarray
-    encoding: str = "unipolar"
-
-    def __post_init__(self) -> None:
-        check_in_choices(self.encoding, _ENCODINGS, "encoding")
-        bits = np.asarray(self.bits)
-        if bits.ndim < 1:
-            raise ValueError("bits must have at least one (stream) axis")
-        if bits.size and not np.isin(bits, (0, 1)).all():
-            raise ValueError("bits must contain only 0s and 1s")
-        self.bits = bits.astype(np.int8)
+    def __init__(
+        self,
+        bits: Optional[np.ndarray] = None,
+        encoding: str = "unipolar",
+        *,
+        packed: Optional[PackedBitPlane] = None,
+        validate: bool = True,
+    ) -> None:
+        check_in_choices(encoding, _ENCODINGS, "encoding")
+        self.encoding = encoding
+        self._bits: Optional[np.ndarray] = None
+        self._packed: Optional[PackedBitPlane] = None
+        if packed is not None:
+            if bits is not None:
+                raise ValueError("pass either bits or packed, not both")
+            self._packed = packed
+        else:
+            if bits is None:
+                raise TypeError("StochasticStream needs bits or packed")
+            arr = np.asarray(bits)
+            if arr.ndim < 1:
+                raise ValueError("bits must have at least one (stream) axis")
+            if validate:
+                check_binary_array(arr, "bits")
+            self._bits = arr.astype(np.int8)
 
     # ------------------------------------------------------------ properties
     @property
+    def bits(self) -> np.ndarray:
+        """Explicit ``int8`` bit array (materialised on first access)."""
+        if self._bits is None:
+            self._bits = self._packed.to_bits(np.int8)
+        return self._bits
+
+    @bits.setter
+    def bits(self, value: np.ndarray) -> None:
+        arr = np.asarray(value)
+        if arr.ndim < 1:
+            raise ValueError("bits must have at least one (stream) axis")
+        check_binary_array(arr, "bits")
+        self._bits = arr.astype(np.int8)
+        self._packed = None
+
+    @property
+    def packed(self) -> PackedBitPlane:
+        """Packed-word view of the same bits (built on first access)."""
+        if self._packed is None:
+            self._packed = PackedBitPlane.from_bits(self._bits)
+        return self._packed
+
+    @property
     def length(self) -> int:
         """Bitstream length (BSL)."""
-        return int(self.bits.shape[-1])
+        if self._bits is not None:
+            return int(self._bits.shape[-1])
+        return self._packed.length
 
     @property
     def value_shape(self) -> Tuple[int, ...]:
         """Shape of the encoded value tensor."""
-        return self.bits.shape[:-1]
+        if self._bits is not None:
+            return self._bits.shape[:-1]
+        return self._packed.value_shape
 
     # -------------------------------------------------------------- codecs
+    @classmethod
+    def from_packed(cls, packed: PackedBitPlane, encoding: str = "unipolar") -> "StochasticStream":
+        """Wrap an existing packed plane without materialising bits."""
+        return cls(packed=packed, encoding=encoding)
+
     @classmethod
     def encode(
         cls,
@@ -92,12 +152,12 @@ class StochasticStream:
         values = np.asarray(values, dtype=float)
         probs = unipolar_encode(values) if encoding == "unipolar" else bipolar_encode(values)
         draws = rng.random(values.shape + (length,))
-        bits = (draws < probs[..., None]).astype(np.int8)
-        return cls(bits=bits, encoding=encoding)
+        bits = draws < probs[..., None]
+        return cls(packed=PackedBitPlane.from_bits(bits), encoding=encoding)
 
     def probabilities(self) -> np.ndarray:
         """Empirical probability of a 1 along the stream axis."""
-        return self.bits.mean(axis=-1)
+        return self.ones_count() / self.length
 
     def decode(self) -> np.ndarray:
         """Decode the streams back to real values (empirical estimate)."""
@@ -107,8 +167,17 @@ class StochasticStream:
         return bipolar_decode(probs)
 
     def ones_count(self) -> np.ndarray:
-        """Number of 1s per stream."""
-        return self.bits.sum(axis=-1)
+        """Number of 1s per stream (popcount on the packed fast path)."""
+        if self._packed is not None:
+            return self._packed.popcount()
+        return self._bits.sum(axis=-1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        backing = "packed" if self._bits is None else "bits"
+        return (
+            f"StochasticStream(value_shape={self.value_shape}, "
+            f"length={self.length}, encoding={self.encoding!r}, backing={backing})"
+        )
 
 
 class ThermometerStream:
@@ -119,16 +188,18 @@ class ThermometerStream:
     (Section II-A of the paper).  Only the counts are stored.
     """
 
-    def __init__(self, counts: np.ndarray, length: int, scale: float) -> None:
-        check_positive_int(length, "length")
-        if scale <= 0:
-            raise ValueError("scale must be positive")
+    def __init__(self, counts: np.ndarray, length: int, scale: float, *, validate: bool = True) -> None:
+        if validate:
+            check_positive_int(length, "length")
+            if scale <= 0:
+                raise ValueError("scale must be positive")
         counts = np.asarray(counts)
-        if counts.size and (counts.min() < 0 or counts.max() > length):
-            raise ValueError(f"counts must lie in [0, {length}]")
-        if counts.size and not np.issubdtype(counts.dtype, np.integer):
-            if not np.allclose(counts, np.round(counts)):
-                raise ValueError("counts must be integers")
+        if validate and counts.size:
+            if counts.min() < 0 or counts.max() > length:
+                raise ValueError(f"counts must lie in [0, {length}]")
+            if not np.issubdtype(counts.dtype, np.integer):
+                if not np.allclose(counts, np.round(counts)):
+                    raise ValueError("counts must be integers")
         self.counts = counts.astype(np.int64)
         self.length = int(length)
         self.scale = float(scale)
@@ -154,18 +225,29 @@ class ThermometerStream:
     def encode(cls, values: np.ndarray, length: int, scale: float) -> "ThermometerStream":
         """Quantise real values onto the thermometer grid (saturating)."""
         counts = thermometer_encode_counts(values, length, scale)
-        return cls(counts=counts, length=length, scale=scale)
+        # The encoder clips onto [0, length], so re-validating the counts
+        # would only re-scan the array the hot loops just produced.
+        return cls(counts=counts, length=length, scale=scale, validate=False)
 
     @classmethod
-    def from_quantized(cls, signed_levels: np.ndarray, length: int, scale: float) -> "ThermometerStream":
+    def from_quantized(
+        cls,
+        signed_levels: np.ndarray,
+        length: int,
+        scale: float,
+        *,
+        validate: bool = True,
+    ) -> "ThermometerStream":
         """Build a stream from signed integer levels in ``[-L/2, L/2]``.
 
         Useful when an upstream quantizer (e.g. LSQ in the network substrate)
         already produced integer levels and no further rounding is wanted.
+        Internal callers whose levels are bounded by construction may pass
+        ``validate=False`` to skip the range scan.
         """
         levels = np.asarray(signed_levels)
         counts = levels + length // 2
-        return cls(counts=counts, length=length, scale=scale)
+        return cls(counts=counts, length=length, scale=scale, validate=validate)
 
     def decode(self) -> np.ndarray:
         """Return the represented real values."""
@@ -178,7 +260,7 @@ class ThermometerStream:
     # ------------------------------------------------------------ utilities
     def copy(self) -> "ThermometerStream":
         """Deep copy (counts array is copied)."""
-        return ThermometerStream(self.counts.copy(), self.length, self.scale)
+        return ThermometerStream(self.counts.copy(), self.length, self.scale, validate=False)
 
     def with_counts(self, counts: np.ndarray) -> "ThermometerStream":
         """New stream sharing length/scale but holding different counts."""

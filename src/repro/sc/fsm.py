@@ -21,6 +21,7 @@ structural hardware description used by the cost model.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable, Optional
 
 import numpy as np
@@ -30,6 +31,39 @@ from repro.sc.bitstream import StochasticStream
 from repro.sc.sng import StochasticNumberGenerator
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive_int
+
+
+@lru_cache(maxsize=32)
+def _fsm_scan_tables(num_states: int):
+    """Byte-granular transition tables of the saturating up/down counter.
+
+    The counter recurrence ``s' = clip(s + 2b - 1, 0, N - 1)`` depends only
+    on ``num_states``, so the whole trajectory through 8 input bits can be
+    tabulated once per state and input byte:
+
+    * ``pre[s, byte, i]`` — counter value *before* consuming bit ``i`` of
+      ``byte`` (little-endian, matching the packed-bitplane byte layout)
+      when the byte is entered in state ``s``,
+    * ``nxt[s, byte]`` — state after all 8 bits.
+
+    A bitstream of length L is then scanned in ``ceil(L / 8)`` vectorised
+    table lookups instead of L Python-level clip/update steps.  Returns
+    ``None`` for counters too large to tabulate (> 256 states), where the
+    per-cycle fallback is used.
+    """
+    if num_states > 256:
+        return None
+    pre = np.empty((num_states, 256, 8), dtype=np.uint8)
+    nxt = np.empty((num_states, 256), dtype=np.uint8)
+    states = np.arange(num_states, dtype=np.int64)
+    for byte in range(256):
+        current = states.copy()
+        for i in range(8):
+            bit = (byte >> i) & 1
+            pre[:, byte, i] = current
+            current = np.clip(current + (2 * bit - 1), 0, num_states - 1)
+        nxt[:, byte] = current
+    return pre, nxt
 
 
 class FsmNonlinearUnit:
@@ -45,6 +79,13 @@ class FsmNonlinearUnit:
         cycle.  ``state`` is the counter value *before* the update.
     name:
         Unit name used for hardware reports.
+    vectorized_rule:
+        When True, ``output_rule`` is guaranteed to broadcast over the whole
+        stream at once (``state``/``input_bit`` of shape ``(..., L)`` and
+        ``cycle`` an ``arange(L)``), letting :meth:`process` skip the
+        per-cycle Python loop entirely.  The built-in tanh/ReLU/GELU units
+        opt in; arbitrary user rules keep the exact cycle-by-cycle calling
+        convention.
     """
 
     def __init__(
@@ -52,6 +93,7 @@ class FsmNonlinearUnit:
         num_states: int,
         output_rule: Callable[[np.ndarray, np.ndarray, int], np.ndarray],
         name: str = "fsm_unit",
+        vectorized_rule: bool = False,
     ) -> None:
         check_positive_int(num_states, "num_states")
         if num_states < 2:
@@ -59,23 +101,58 @@ class FsmNonlinearUnit:
         self.num_states = num_states
         self.output_rule = output_rule
         self.name = name
+        self.vectorized_rule = bool(vectorized_rule)
 
     # -------------------------------------------------------------- simulate
+    def _state_trajectory(self, stream: StochasticStream, initial_state: int) -> np.ndarray:
+        """Counter value before every cycle, shape ``value_shape + (L,)``.
+
+        Uses the byte-granular transition-table scan on the packed input
+        bitplanes; the zero-padded tail bytes of the packed representation
+        are scanned too (cheap) and their trajectory entries sliced away.
+        """
+        length = stream.length
+        tables = _fsm_scan_tables(self.num_states)
+        if tables is None:  # giant counters: legacy per-cycle update
+            bits = stream.bits
+            state = np.full(stream.value_shape, initial_state, dtype=np.int64)
+            trajectory = np.empty(bits.shape, dtype=np.int64)
+            for cycle in range(length):
+                trajectory[..., cycle] = state
+                state = np.clip(state + (2 * bits[..., cycle] - 1), 0, self.num_states - 1)
+            return trajectory
+        pre, nxt = tables
+        stream_bytes = stream.packed.byte_view()
+        num_bytes = stream_bytes.shape[-1]
+        state = np.full(stream.value_shape, initial_state, dtype=np.intp)
+        trajectory = np.empty(stream.value_shape + (num_bytes, 8), dtype=np.uint8)
+        for t in range(num_bytes):
+            chunk = stream_bytes[..., t]
+            trajectory[..., t, :] = pre[state, chunk]
+            state = nxt[state, chunk].astype(np.intp)
+        return trajectory.reshape(stream.value_shape + (num_bytes * 8,))[..., :length]
+
     def process(self, stream: StochasticStream, initial_state: Optional[int] = None) -> StochasticStream:
         """Run the FSM over a bipolar input stream, producing a bipolar stream."""
         if stream.encoding != "bipolar":
             raise ValueError("FSM nonlinear units operate on bipolar streams")
-        bits = stream.bits
         length = stream.length
         if initial_state is None:
             initial_state = self.num_states // 2
-        state = np.full(stream.value_shape, initial_state, dtype=np.int64)
-        out = np.empty_like(bits)
-        for cycle in range(length):
-            in_bit = bits[..., cycle]
-            out[..., cycle] = self.output_rule(state, in_bit, cycle)
-            state = np.clip(state + (2 * in_bit - 1), 0, self.num_states - 1)
-        return StochasticStream(bits=out.astype(np.int8), encoding="bipolar")
+        states = self._state_trajectory(stream, initial_state)
+        bits = stream.bits
+        if self.vectorized_rule:
+            cycles = np.arange(length)
+            out = np.asarray(self.output_rule(states, bits, cycles))
+        else:
+            out = np.empty_like(bits)
+            states = states.astype(np.int64, copy=False)
+            for cycle in range(length):
+                out[..., cycle] = self.output_rule(states[..., cycle], bits[..., cycle], cycle)
+        # A unit declaring vectorized_rule guarantees 0/1 outputs, so the
+        # full-array re-scan is skipped on that hot path; arbitrary per-cycle
+        # rules keep the constructor's check (the seed behaviour).
+        return StochasticStream(bits=out, encoding="bipolar", validate=not self.vectorized_rule)
 
     def evaluate(
         self,
@@ -142,9 +219,10 @@ class FsmTanhUnit(FsmNonlinearUnit):
         half = num_states // 2
 
         def rule(state, in_bit, cycle):
+            # Broadcasts over a whole (..., L) trajectory or a single cycle.
             return (state >= half).astype(np.int8)
 
-        super().__init__(num_states=num_states, output_rule=rule, name="fsm_tanh")
+        super().__init__(num_states=num_states, output_rule=rule, name="fsm_tanh", vectorized_rule=True)
 
     def reference(self, values: np.ndarray, input_scale: float = 1.0) -> np.ndarray:
         """The mathematical function the unit approximates."""
@@ -164,11 +242,13 @@ class FsmReluUnit(FsmNonlinearUnit):
         half = num_states // 2
 
         def rule(state, in_bit, cycle):
+            # ``cycle`` may be a scalar or the full arange(L); the 0/1
+            # alternation broadcasts against the trajectory either way.
             positive = state >= half
-            zero_bit = np.full_like(in_bit, cycle % 2)
+            zero_bit = np.asarray(cycle) % 2
             return np.where(positive, in_bit, zero_bit).astype(np.int8)
 
-        super().__init__(num_states=num_states, output_rule=rule, name="fsm_relu")
+        super().__init__(num_states=num_states, output_rule=rule, name="fsm_relu", vectorized_rule=True)
 
     @staticmethod
     def reference(values: np.ndarray, input_scale: float = 1.0) -> np.ndarray:
@@ -194,12 +274,14 @@ class FsmGeluUnit(FsmNonlinearUnit):
             # The gate opens gradually across the upper half of the counter
             # range, emulating the sigmoid factor of GELU; cycling through
             # the threshold pattern avoids correlation with the input bit.
+            # ``cycle`` may be a scalar or the full arange(L).
+            cycle = np.asarray(cycle)
             threshold = (cycle % (num_states // 2)) + num_states // 2
             gate = state >= threshold
-            zero_bit = np.full_like(in_bit, cycle % 2)
+            zero_bit = cycle % 2
             return np.where(gate, in_bit, zero_bit).astype(np.int8)
 
-        super().__init__(num_states=num_states, output_rule=rule, name="fsm_gelu")
+        super().__init__(num_states=num_states, output_rule=rule, name="fsm_gelu", vectorized_rule=True)
 
     @staticmethod
     def reference(values: np.ndarray) -> np.ndarray:

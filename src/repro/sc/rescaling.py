@@ -56,7 +56,10 @@ def rescale(stream: ThermometerStream, rate: int, phase: Optional[int] = None) -
         )
     new_length = stream.length // rate
     new_counts = subsampled_count(stream.counts, stream.length, rate, phase)
-    return ThermometerStream(counts=new_counts, length=new_length, scale=stream.scale * rate)
+    # subsampled_count clips onto [0, new_length], so skip the range re-scan.
+    return ThermometerStream(
+        counts=new_counts, length=new_length, scale=stream.scale * rate, validate=False
+    )
 
 
 def rescale_to_length(stream: ThermometerStream, target_length: int) -> ThermometerStream:

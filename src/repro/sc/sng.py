@@ -11,6 +11,7 @@ win on area-delay product.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -18,6 +19,7 @@ import numpy as np
 from repro.hw.netlist import ComponentInventory, HardwareModule
 from repro.sc.bitstream import StochasticStream
 from repro.sc.encodings import bipolar_encode, unipolar_encode
+from repro.sc.packed import PackedBitPlane
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_in_choices, check_positive_int
 
@@ -39,6 +41,45 @@ _MAXIMAL_TAPS: Dict[int, Tuple[int, ...]] = {
     15: (15, 14),
     16: (16, 15, 13, 4),
 }
+
+
+@lru_cache(maxsize=64)
+def _lfsr_cycle(width: int, taps: Tuple[int, ...]) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Precomputed state cycle of a Galois LFSR, shared across instances.
+
+    Returns ``(cycle, pos)`` where ``cycle[i]`` is the state reached after
+    ``i + 1`` steps from state 1 and ``pos[s]`` is the index of state ``s``
+    in that cycle (-1 when ``s`` is not on it).  Because the successor of a
+    state is state-autonomous, any register whose current state lies on the
+    cycle can read its whole future from this table; for maximal-length taps
+    that is every nonzero state, i.e. the full m-sequence.
+
+    ``None`` is returned when no clean cycle through state 1 exists (only
+    possible for user-supplied non-maximal taps, where the all-zero lockup
+    guard would make the trajectory instance-dependent); callers then fall
+    back to scalar stepping.
+    """
+    tap_mask = 0
+    for tap in taps:
+        tap_mask |= 1 << (tap - 1)
+    states = []
+    state = 1
+    for _ in range(1 << width):
+        lsb = state & 1
+        state >>= 1
+        if lsb:
+            state ^= tap_mask
+        if state == 0:
+            return None
+        states.append(state)
+        if state == 1:
+            break
+    else:
+        return None
+    cycle = np.array(states, dtype=np.int64)
+    pos = np.full(1 << width, -1, dtype=np.int64)
+    pos[cycle] = np.arange(len(cycle))
+    return cycle, pos
 
 
 class LinearFeedbackShiftRegister:
@@ -93,8 +134,23 @@ class LinearFeedbackShiftRegister:
         return self.state
 
     def sequence(self, length: int) -> np.ndarray:
-        """Return the next ``length`` states as an integer array."""
+        """Return the next ``length`` states as an integer array.
+
+        Fast path: the whole state cycle is precomputed once per
+        ``(width, taps)`` (LRU-cached at module level) and the requested
+        window is gathered from it in one vectorised take — identical
+        states to scalar stepping, without the per-cycle Python loop.
+        """
         check_positive_int(length, "length")
+        cached = _lfsr_cycle(self.width, self.taps)
+        if cached is not None:
+            cycle, pos = cached
+            start = pos[self.state]
+            if start >= 0:
+                idx = (start + 1 + np.arange(length, dtype=np.int64)) % len(cycle)
+                out = cycle[idx]
+                self.state = int(out[-1])
+                return out
         out = np.empty(length, dtype=np.int64)
         for i in range(length):
             out[i] = self.step()
@@ -151,13 +207,19 @@ class StochasticNumberGenerator:
         return bipolar_encode(values)
 
     def generate(self, values: np.ndarray) -> StochasticStream:
-        """Generate one bitstream per input value."""
+        """Generate one bitstream per input value.
+
+        Both modes hand the comparator output (a boolean tensor over the
+        whole value batch, produced by one broadcasted numpy op) straight to
+        the packed-bitplane representation — the explicit ``int8`` bits are
+        only materialised if a caller asks for them.
+        """
         values = np.asarray(values, dtype=float)
         probs = self._probabilities(values)
         if self.mode == "ideal":
             draws = self._rng.random(probs.shape + (self.length,))
-            bits = (draws < probs[..., None]).astype(np.int8)
-            return StochasticStream(bits=bits, encoding=self.encoding)
+            bits = draws < probs[..., None]
+            return StochasticStream(packed=PackedBitPlane.from_bits(bits), encoding=self.encoding)
 
         # LFSR mode: every value in the batch shares the LFSR sequence, the
         # way a hardware SNG bank shares one pseudo-random source per lane.
@@ -165,9 +227,9 @@ class StochasticNumberGenerator:
         lfsr = LinearFeedbackShiftRegister(self.lfsr_width, seed_state=seed_state)
         states = lfsr.sequence(self.length).astype(float)
         thresholds = states / float(lfsr.period + 1)
-        bits = (thresholds[None, ...] < probs.reshape(-1, 1)).astype(np.int8)
+        bits = thresholds[None, ...] < probs.reshape(-1, 1)
         bits = bits.reshape(probs.shape + (self.length,))
-        return StochasticStream(bits=bits, encoding=self.encoding)
+        return StochasticStream(packed=PackedBitPlane.from_bits(bits), encoding=self.encoding)
 
     def build_hardware(self) -> HardwareModule:
         """One LFSR plus a comparator of the LFSR width."""

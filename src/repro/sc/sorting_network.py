@@ -20,12 +20,13 @@ This module provides both views of a BSN:
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Tuple
 
 import numpy as np
 
 from repro.hw.netlist import ComponentInventory, HardwareModule
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_binary_array, check_positive_int
 
 
 def _next_power_of_two(value: int) -> int:
@@ -33,6 +34,34 @@ def _next_power_of_two(value: int) -> int:
     while power < value:
         power *= 2
     return power
+
+
+@lru_cache(maxsize=None)
+def _schedule_for(n: int) -> List[List[Tuple[int, int]]]:
+    """Module-level memo of compare-exchange schedules, shared by all
+    :class:`BitonicSortingNetwork` instances of the same padded width.
+
+    Sweeps construct thousands of sorter objects for a handful of distinct
+    widths; memoising here means each stage schedule is computed once per
+    process.  Treat the returned lists as read-only.
+    """
+    return BitonicSortingNetwork._build_schedule(n)
+
+
+@lru_cache(maxsize=None)
+def _stage_indices(n: int) -> Tuple[Tuple[np.ndarray, np.ndarray], ...]:
+    """Per-stage (hi, lo) index arrays for vectorised compare-exchange.
+
+    Within a stage every lane appears in exactly one pair, so all pairs of
+    the stage can be gathered/scattered with two fancy-indexing ops instead
+    of a Python loop over individual compare-exchange elements.
+    """
+    stages = []
+    for stage in _schedule_for(n):
+        hi = np.fromiter((pair[0] for pair in stage), dtype=np.intp, count=len(stage))
+        lo = np.fromiter((pair[1] for pair in stage), dtype=np.intp, count=len(stage))
+        stages.append((hi, lo))
+    return tuple(stages)
 
 
 class BitonicSortingNetwork:
@@ -48,7 +77,6 @@ class BitonicSortingNetwork:
         check_positive_int(width, "width")
         self.width = width
         self.padded_width = _next_power_of_two(width)
-        self._schedule_cache: List[List[Tuple[int, int]]] = None
 
     # --------------------------------------------------------------- schedule
     @staticmethod
@@ -81,10 +109,8 @@ class BitonicSortingNetwork:
 
     @property
     def _schedule(self) -> List[List[Tuple[int, int]]]:
-        """Compare-exchange schedule, built lazily (only the functional path needs it)."""
-        if self._schedule_cache is None:
-            self._schedule_cache = self._build_schedule(self.padded_width)
-        return self._schedule_cache
+        """Compare-exchange schedule (module-level memo, shared per width)."""
+        return _schedule_for(self.padded_width)
 
     @property
     def num_compare_exchange(self) -> int:
@@ -119,18 +145,17 @@ class BitonicSortingNetwork:
         arr = np.asarray(bits)
         if arr.shape[-1] != self.width:
             raise ValueError(f"expected last axis of size {self.width}, got {arr.shape[-1]}")
-        if arr.size and not np.isin(arr, (0, 1)).all():
-            raise ValueError("bits must contain only 0s and 1s")
+        check_binary_array(arr, "bits")
         work = np.zeros(arr.shape[:-1] + (self.padded_width,), dtype=np.int8)
         work[..., : self.width] = arr
-        for stage in self._schedule:
-            for hi, lo in stage:
-                a = work[..., hi].copy()
-                b = work[..., lo].copy()
-                # For single-bit payloads: max = OR, min = AND.  The "hi"
-                # index keeps the larger value so 1s bubble to the front.
-                work[..., hi] = a | b
-                work[..., lo] = a & b
+        # All pairs of a stage are independent, so each stage is two gathers
+        # and two scatters.  For single-bit payloads: max = OR, min = AND;
+        # the "hi" index keeps the larger value so 1s bubble to the front.
+        for hi, lo in _stage_indices(self.padded_width):
+            a = work[..., hi]
+            b = work[..., lo]
+            work[..., hi] = a | b
+            work[..., lo] = a & b
         return work[..., : self.width]
 
     def sort_values(self, values: np.ndarray) -> np.ndarray:
@@ -144,12 +169,11 @@ class BitonicSortingNetwork:
             raise ValueError(f"expected last axis of size {self.width}, got {arr.shape[-1]}")
         pad_shape = arr.shape[:-1] + (self.padded_width - self.width,)
         work = np.concatenate([arr, np.full(pad_shape, -np.inf)], axis=-1)
-        for stage in self._schedule:
-            for hi, lo in stage:
-                a = work[..., hi].copy()
-                b = work[..., lo].copy()
-                work[..., hi] = np.maximum(a, b)
-                work[..., lo] = np.minimum(a, b)
+        for hi, lo in _stage_indices(self.padded_width):
+            a = work[..., hi]
+            b = work[..., lo]
+            work[..., hi] = np.maximum(a, b)
+            work[..., lo] = np.minimum(a, b)
         return work[..., : self.width]
 
     # -------------------------------------------------------------- structural

@@ -48,6 +48,28 @@ def check_unit_interval_array(values: np.ndarray, name: str) -> np.ndarray:
     return arr
 
 
+def check_binary_array(values: np.ndarray, name: str) -> np.ndarray:
+    """Return ``values`` after checking every entry is exactly 0 or 1.
+
+    Unlike ``np.isin(values, (0, 1)).all()`` — which materialises a
+    full-size boolean temporary per membership candidate — this runs two
+    reduction passes (min/max) with no temporaries for boolean and integer
+    arrays; only the rare float input pays for an exactness check.
+    """
+    arr = np.asarray(values)
+    if arr.size == 0 or arr.dtype == bool:
+        return arr
+    mn, mx = arr.min(), arr.max()
+    # NaNs make both comparisons False, which correctly falls through to the
+    # error (NaN is not a valid bit).
+    if not (mn >= 0 and mx <= 1):
+        raise ValueError(f"{name} must contain only 0s and 1s")
+    if not np.issubdtype(arr.dtype, np.integer):
+        if not np.array_equal(arr, arr.astype(np.int8)):
+            raise ValueError(f"{name} must contain only 0s and 1s")
+    return arr
+
+
 def check_in_choices(value, choices: Iterable, name: str):
     """Return ``value`` if it is one of ``choices``, else raise ``ValueError``."""
     options: Sequence = tuple(choices)

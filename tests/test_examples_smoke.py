@@ -13,6 +13,8 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow
+
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 sys.path.insert(0, str(EXAMPLES_DIR))
 

@@ -20,6 +20,8 @@ from repro.nn.functional_math import gelu_exact, softmax_exact
 from repro.training.pipeline import AscendTrainingPipeline, PipelineConfig
 from repro.nn.vit import ViTConfig
 
+pytestmark = pytest.mark.slow
+
 
 class TestCircuitsOnRealModelVectors:
     def test_gelu_block_calibrated_on_model_activations(self, tiny_vit, tiny_images):

@@ -12,6 +12,8 @@ from repro.training.pipeline import (
     train_baseline_low_precision,
 )
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def tiny_pipeline_setup():

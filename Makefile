@@ -1,8 +1,9 @@
 # Developer entry points.  The repo is pure python; `src` goes on PYTHONPATH.
 
 PYTEST = PYTHONPATH=src python -m pytest
+REPRO = PYTHONPATH=src python -m repro
 
-.PHONY: test test-fast bench
+.PHONY: test test-fast bench bench-check lint smoke
 
 ## Tier-1 verification: the full suite, fail-fast.
 test:
@@ -15,3 +16,24 @@ test-fast:
 ## Packed-engine perf regression harness (writes benchmarks/results/BENCH_sc_engine.json).
 bench:
 	PYTHONPATH=src python benchmarks/bench_perf_sc_engine.py
+
+## Perf gate: re-run the harness and fail if packed-engine speedups fall
+## below the floors recorded in the JSON baseline (the CI perf job).
+bench-check:
+	$(REPRO) bench --check-floor
+
+## Lint (ruff config lives in pyproject.toml).  Falls back to a syntax
+## check when ruff is not installed locally; CI always installs ruff.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; running syntax check only"; \
+		python -m compileall -q src tests benchmarks examples && echo "syntax ok"; \
+	fi
+
+## Orchestrator smoke: a reduced parallel DSE sweep + self-checks (CI).
+smoke:
+	$(REPRO) verify
+	$(REPRO) dse --max-designs 32 --workers 2 --rows 16 --cache-dir .repro-cache
+	$(REPRO) dse --max-designs 32 --workers 2 --rows 16 --cache-dir .repro-cache

@@ -11,14 +11,13 @@ Table V reruns):
   order) versus weights before activations.
 """
 
-import numpy as np
 from conftest import bench_scale, emit
 
 from repro.nn.quantization import PrecisionScheme
 from repro.nn.vit import CompactVisionTransformer, ViTConfig
 from repro.training.datasets import synthetic_cifar10
 from repro.training.distillation import KnowledgeDistiller
-from repro.training.pipeline import PipelineConfig, clone_model
+from repro.training.pipeline import clone_model
 from repro.training.trainer import Trainer, TrainingConfig, evaluate_accuracy
 
 

@@ -8,33 +8,20 @@ Expected shape: the Bernstein ADP grows linearly with its BSL while its MAE
 barely improves (the approximation error floor dominates); our ADP grows
 with the output BSL while the MAE keeps falling, and the 8-bit point sits
 below every Bernstein point on both axes simultaneously.
+
+The sweep runs through :mod:`repro.runner` (the same task the CLI's
+``gelu-sweep`` subcommand drives): ``REPRO_BENCH_WORKERS=N`` shards it
+across processes, ``REPRO_BENCH_CACHE=dir`` reuses stored results; the
+default is the serial in-process path with byte-identical output.
 """
 
-import numpy as np
-from conftest import emit
+from conftest import bench_cache, bench_workers, emit
 
-from repro.core.gelu_si import GeluSIBlock
-from repro.hw.synthesis import synthesize
-from repro.nn.functional_math import gelu_exact
-from repro.sc.bernstein import BernsteinPolynomialUnit
+from repro.runner.tasks import fig7_gelu_rows
 
 
 def _fig7_series(samples):
-    reference = gelu_exact(samples)
-    rows = []
-    for terms in (4, 5, 6):
-        unit = BernsteinPolynomialUnit(gelu_exact, num_terms=terms, input_range=3.0)
-        for bsl in (128, 256, 1024):
-            report = synthesize(unit.build_hardware(bsl))
-            out = unit.evaluate(samples[:1500], bsl, seed=terms)
-            mae = float(np.mean(np.abs(out - reference[:1500])))
-            rows.append((f"{terms}-term Bern. Poly.", bsl, report.adp, mae))
-    for bsl in (2, 4, 8):
-        block = GeluSIBlock(output_length=bsl, calibration_samples=samples)
-        report = synthesize(block.build_hardware())
-        mae = float(np.mean(np.abs(block.evaluate(samples) - reference)))
-        rows.append(("Gate-Assisted SI (ours)", bsl, report.adp, mae))
-    return rows
+    return fig7_gelu_rows(samples, workers=bench_workers(), cache=bench_cache())
 
 
 def test_fig7_gelu_sweep(benchmark, gelu_test_vectors):

@@ -11,11 +11,13 @@ spans of both axes.  Checked shape: the grid size matches (2916), the front
 contains on the order of ten designs, and moving along the front trades at
 least one order of magnitude of ADP against a clearly lower MAE.
 
-Set ``REPRO_BENCH_SCALE=small`` to sweep a reduced grid when iterating.
+Set ``REPRO_BENCH_SCALE=small`` to sweep a reduced grid when iterating,
+``REPRO_BENCH_WORKERS=N`` to shard the sweep across N processes (0 = all
+CPUs; results are bit-identical to the serial path) and
+``REPRO_BENCH_CACHE=dir`` to resume interrupted sweeps from a result cache.
 """
 
-import numpy as np
-from conftest import bench_scale, emit
+from conftest import bench_cache, bench_scale, bench_workers, emit
 
 from repro.core.dse import SoftmaxDesignSpace
 
@@ -33,7 +35,7 @@ def _explore(bx, logits, scale):
         )
     else:
         space = SoftmaxDesignSpace(bx=bx, test_vectors=logits[:100])
-    points = space.explore()
+    points = space.explore(workers=bench_workers(), cache=bench_cache())
     pareto = space.pareto_points(points)
     return space, points, pareto
 

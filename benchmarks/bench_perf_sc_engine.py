@@ -51,6 +51,16 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 VALUE_SHAPE = (64, 64)
 BSL = 256
 
+#: Regression floors recorded into the JSON payload: the CI perf job (and
+#: ``python -m repro bench --check-floor``) fails when a fresh run's
+#: speedup drops below these.  They are deliberately far under the ~40x
+#: typically measured, so only a real regression (not scheduler noise on a
+#: loaded CI runner) trips them.
+SPEEDUP_FLOORS = {
+    "unipolar_multiply_decode": 10.0,
+    "bipolar_multiply_decode": 10.0,
+}
+
 
 # ---------------------------------------------------------------------------
 # Legacy (seed) reference implementations: one int8 per bit, per-cycle loops.
@@ -224,6 +234,7 @@ def run_benchmarks(value_shape=VALUE_SHAPE, bsl=BSL) -> dict:
         "value_shape": list(value_shape),
         "bitstream_length": bsl,
         "numpy_version": np.__version__,
+        "floors": dict(SPEEDUP_FLOORS),
         "benchmarks": entries,
     }
 
@@ -258,9 +269,10 @@ def test_perf_sc_engine():
     _print_report(payload)
     save_report(payload)
     by_name = {row["name"]: row for row in payload["benchmarks"]}
-    # Acceptance: >= 10x for packed multiply+decode at BSL=256 on 64x64 values.
-    assert by_name["unipolar_multiply_decode"]["speedup"] >= 10.0
-    assert by_name["bipolar_multiply_decode"]["speedup"] >= 10.0
+    # Acceptance: the recorded floors (>= 10x for packed multiply+decode at
+    # BSL=256 on 64x64 values) — the same check the CI perf job applies.
+    for name, floor in payload["floors"].items():
+        assert by_name[name]["speedup"] >= floor, f"{name} regressed below {floor}x"
     # The packed path must be bit-identical to the legacy ops, not just fast.
     a = StochasticStream.encode(np.random.default_rng(0).random(VALUE_SHAPE), BSL, seed=1)
     b = StochasticStream.encode(np.random.default_rng(1).random(VALUE_SHAPE), BSL, seed=2)

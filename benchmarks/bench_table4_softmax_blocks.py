@@ -10,18 +10,17 @@ Paper numbers for reference: FSM ADP = 4.14e6/8.28e6/3.31e7 um^2*ns at MAE
 Claims checked: our MAE falls monotonically with By, the By = 8 block cuts
 both MAE and ADP against the 1024-bit FSM design, and the FSM design's MAE
 stays roughly flat while its ADP grows linearly with the BSL.
+
+The rows are produced by :class:`repro.runner.tasks.Table4Task` through the
+sweep runner (shared with ``python -m repro tables``):
+``REPRO_BENCH_WORKERS=N`` parallelises the six rows,
+``REPRO_BENCH_CACHE=dir`` reuses stored results; the default serial path is
+byte-identical to the historical bench.
 """
 
-from conftest import emit
+from conftest import bench_cache, bench_workers, emit
 
-from repro.core.baselines import FsmSoftmaxBaseline
-from repro.core.softmax_circuit import (
-    IterativeSoftmaxCircuit,
-    SoftmaxCircuitConfig,
-    calibrate_alpha_x,
-    calibrate_alpha_y,
-)
-from repro.hw.synthesis import synthesize
+from repro.runner.tasks import table4_rows
 
 M = 64
 BX = 4
@@ -29,28 +28,16 @@ S1, S2, ITERATIONS = 32, 8, 3
 
 
 def _table4_rows(logits):
-    rows = []
-    for bsl in (128, 256, 1024):
-        baseline = FsmSoftmaxBaseline(m=M, bitstream_length=bsl, seed=bsl)
-        report = synthesize(baseline.build_hardware())
-        rows.append((f"FSM [17] {bsl}b BSL", report.area_um2, report.delay_ns, report.adp, baseline.mean_absolute_error(logits)))
-
-    alpha_x = calibrate_alpha_x(logits, BX)
-    for by in (4, 8, 16):
-        config = SoftmaxCircuitConfig(
-            m=M,
-            iterations=ITERATIONS,
-            bx=BX,
-            alpha_x=alpha_x,
-            by=by,
-            alpha_y=calibrate_alpha_y(by, M),
-            s1=S1,
-            s2=S2,
-        )
-        circuit = IterativeSoftmaxCircuit(config)
-        report = synthesize(circuit.build_hardware())
-        rows.append((f"Ours By={by}", report.area_um2, report.delay_ns, report.adp, circuit.mean_absolute_error(logits)))
-    return rows
+    return table4_rows(
+        logits,
+        workers=bench_workers(),
+        cache=bench_cache(),
+        m=M,
+        bx=BX,
+        s1=S1,
+        s2=S2,
+        iterations=ITERATIONS,
+    )
 
 
 def test_table4_softmax_blocks(benchmark, softmax_test_vectors):

@@ -18,7 +18,6 @@ softmax.
 and longer schedules.
 """
 
-import numpy as np
 from conftest import bench_scale, emit
 
 from repro.nn.vit import ViTConfig

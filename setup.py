@@ -1,10 +1,25 @@
 """Setuptools entry point.
 
-The project is fully described by ``pyproject.toml``; this shim exists so
-that editable installs also work on minimal environments that lack the
-``wheel`` package (where PEP 660 editable wheels cannot be built).
+The project is fully described by ``pyproject.toml`` (including the
+``repro`` console script that fronts the sweep orchestrator); this shim
+exists so that editable installs also work on minimal environments that
+lack the ``wheel`` package (where PEP 660 editable wheels cannot be
+built).  The explicit arguments below mirror the pyproject metadata for
+ancient setuptools that ignores it.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+_INIT = Path(__file__).parent / "src" / "repro" / "__init__.py"
+_VERSION = re.search(r'__version__ = "([^"]+)"', _INIT.read_text()).group(1)
+
+setup(
+    name="repro-ascend",
+    version=_VERSION,
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

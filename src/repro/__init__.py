@@ -13,7 +13,10 @@ The package mirrors the structure of the paper (DATE 2024):
 * :mod:`repro.training` — datasets, trainer, knowledge distillation and the
   two-stage training pipeline,
 * :mod:`repro.evaluation` — test vectors, error metrics, Pareto analysis and
-  report formatting.
+  report formatting,
+* :mod:`repro.runner` — sweep orchestration: the parallel sweep executor,
+  the content-addressed on-disk result cache and the per-experiment sweep
+  tasks behind the ``python -m repro`` CLI.
 
 See ``DESIGN.md`` for the system inventory and the per-experiment index, and
 ``EXPERIMENTS.md`` for measured-vs-paper results.
@@ -21,4 +24,4 @@ See ``DESIGN.md`` for the system inventory and the per-experiment index, and
 
 __version__ = "1.0.0"
 
-__all__ = ["core", "sc", "hw", "nn", "training", "evaluation", "utils", "__version__"]
+__all__ = ["core", "sc", "hw", "nn", "training", "evaluation", "runner", "utils", "__version__"]

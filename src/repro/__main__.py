@@ -1,0 +1,7 @@
+"""``python -m repro`` — the unified reproduction CLI (see :mod:`repro.cli`)."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

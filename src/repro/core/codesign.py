@@ -26,7 +26,7 @@ from repro.core.accelerator import AcceleratorConfig, AscendAccelerator, ViTArch
 from repro.core.dse import DesignPoint, SoftmaxDesignSpace
 from repro.core.gelu_si import GeluSIBlock
 from repro.core.sc_vit import ScViTEvaluator
-from repro.core.softmax_circuit import SoftmaxCircuitConfig, calibrate_alpha_x, calibrate_alpha_y
+from repro.core.softmax_circuit import SoftmaxCircuitConfig
 from repro.evaluation.vectors import collect_gelu_inputs, collect_softmax_inputs
 from repro.nn.vit import CompactVisionTransformer
 from repro.training.datasets import DatasetSplit

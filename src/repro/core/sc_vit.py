@@ -25,7 +25,6 @@ import numpy as np
 from repro.core.gelu_si import GeluSIBlock
 from repro.core.softmax_circuit import IterativeSoftmaxCircuit, SoftmaxCircuitConfig, calibrate_alpha_x
 from repro.nn.autograd import Tensor, no_grad
-from repro.nn import functional as F
 from repro.nn.vit import CompactVisionTransformer
 from repro.training.datasets import DatasetSplit
 from repro.utils.validation import check_positive_int

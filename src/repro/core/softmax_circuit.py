@@ -27,8 +27,7 @@ design space of Table II / Fig. 8 is swept by :mod:`repro.core.dse`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from dataclasses import dataclass, replace
 
 import numpy as np
 

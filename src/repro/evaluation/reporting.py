@@ -8,8 +8,9 @@ to diff against ``EXPERIMENTS.md``.
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
-from typing import Iterable, List, Mapping, Sequence, Union
+from typing import Iterable, List, Mapping, Optional, Sequence, TextIO, Union
 
 
 def _stringify(value) -> str:
@@ -85,3 +86,49 @@ def save_json_report(path: Union[str, Path], payload: Mapping) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(convert(payload), indent=2, sort_keys=True))
     return path
+
+
+class ProgressReporter:
+    """Incremental progress line for long sweeps.
+
+    The sweep runner calls ``start(total)``, then ``update(done, total,
+    cached=...)`` per completed config, then ``finish(summary)``.  On a TTY
+    the line rewrites in place (carriage return); on a pipe/CI log it prints
+    a line roughly every 10% so logs stay readable.  ``quiet=True`` turns
+    the reporter into a no-op sink, which keeps call-sites branch-free.
+    """
+
+    def __init__(self, label: str, stream: Optional[TextIO] = None, quiet: bool = False) -> None:
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.quiet = quiet
+        self._is_tty = bool(getattr(self.stream, "isatty", lambda: False)())
+        self._last_decile = -1
+
+    def _emit(self, text: str, final: bool = False) -> None:
+        if self.quiet:
+            return
+        if self._is_tty:
+            end = "\n" if final else ""
+            self.stream.write("\r\x1b[2K" + text + end)
+        else:
+            self.stream.write(text + "\n")
+        self.stream.flush()
+
+    def start(self, total: int) -> None:
+        self._last_decile = -1
+        self._emit(f"{self.label}: 0/{total}")
+
+    def update(self, done: int, total: int, cached: int = 0) -> None:
+        suffix = f" ({cached} cached)" if cached else ""
+        if self._is_tty:
+            self._emit(f"{self.label}: {done}/{total}{suffix}")
+            return
+        decile = (10 * done) // max(1, total)
+        if decile > self._last_decile or done == total:
+            self._last_decile = decile
+            self._emit(f"{self.label}: {done}/{total}{suffix}")
+
+    def finish(self, summary: str = "") -> None:
+        text = f"{self.label}: done" + (f" — {summary}" if summary else "")
+        self._emit(text, final=True)

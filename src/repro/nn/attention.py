@@ -13,7 +13,7 @@ The attention block is where ASCEND's two network-level changes meet:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

@@ -11,7 +11,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.nn.autograd import Tensor, is_grad_enabled
+from repro.nn.autograd import Tensor
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive_int
 

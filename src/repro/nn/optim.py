@@ -7,7 +7,7 @@ registered parameters and read the gradients accumulated by autograd.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 import numpy as np
 

@@ -21,14 +21,13 @@ autograd substrate with the knobs ASCEND's co-design needs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
-from repro.nn import functional as F
 from repro.nn.attention import MultiHeadSelfAttention
 from repro.nn.autograd import Tensor, parameter
-from repro.nn.layers import BatchNorm, Dropout, GELU, Identity, LayerNorm, Module
+from repro.nn.layers import BatchNorm, Dropout, GELU, LayerNorm, Module
 from repro.nn.quantization import PrecisionScheme, QuantizedLinear, ResidualQuantizer, apply_precision_scheme
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_in_choices, check_positive_int

@@ -1,0 +1,41 @@
+"""Sweep orchestration: parallel execution, disk-backed caching, repro CLI.
+
+The paper's headline experiments are embarrassingly parallel sweeps over
+config grids; this package turns them from serial single-process loops into
+shardable, resumable, cacheable runs:
+
+* :mod:`repro.runner.runner` — :class:`ParallelSweepRunner`, a
+  multiprocessing-backed executor with deterministic per-index seeding and
+  grid-order result assembly,
+* :mod:`repro.runner.cache` — :class:`ResultCache`, a content-addressed
+  on-disk store keyed by config + code-version fingerprint (JSON payloads,
+  NPZ sidecars for arrays),
+* :mod:`repro.runner.tasks` — the per-experiment
+  :class:`~repro.runner.runner.SweepTask` implementations shared by the
+  ``benchmarks/`` scripts and the ``python -m repro`` CLI.
+
+See ``docs/orchestration.md`` for the design.
+"""
+
+from repro.runner.cache import (
+    CachedResult,
+    ResultCache,
+    array_digest,
+    canonical_json,
+    code_fingerprint,
+    default_code_version,
+)
+from repro.runner.runner import ParallelSweepRunner, RunStats, SweepTask, derive_seed
+
+__all__ = [
+    "CachedResult",
+    "ResultCache",
+    "array_digest",
+    "canonical_json",
+    "code_fingerprint",
+    "default_code_version",
+    "ParallelSweepRunner",
+    "RunStats",
+    "SweepTask",
+    "derive_seed",
+]

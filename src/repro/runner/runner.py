@@ -1,0 +1,251 @@
+"""Multiprocessing sweep executor with deterministic sharding and caching.
+
+:class:`ParallelSweepRunner` evaluates an enumerable grid of configurations
+through a :class:`SweepTask` and returns results **in grid order**, however
+many workers evaluate them.  Three properties make a parallel run
+indistinguishable from the serial one:
+
+* **Deterministic seeding** — each grid index gets a seed derived from
+  ``(base_seed, index)`` by :func:`derive_seed`, independent of how indices
+  are sharded across workers, so stochastic evaluations reproduce exactly.
+* **Canonical result round-trip** — every result passes through
+  ``task.encode``/``task.decode`` whether it was computed in-process, in a
+  worker, or loaded from the cache, so all three paths yield bit-identical
+  objects (tasks must make the round-trip lossless).
+* **Order restoration** — workers return ``(index, payload)`` pairs and the
+  runner scatters them back into grid positions; completion order never
+  leaks into the output.
+
+When a :class:`~repro.runner.cache.ResultCache` is attached, cached configs
+are served without evaluation and fresh results are stored as soon as they
+arrive, so an interrupted sweep resumes from where it crashed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Tuple
+
+import multiprocessing as mp
+
+__all__ = ["ParallelSweepRunner", "RunStats", "SweepTask", "derive_seed"]
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """Stable per-grid-index seed, independent of sharding.
+
+    Hashing ``base_seed:index`` (rather than e.g. ``base_seed + index``)
+    decorrelates neighbouring grid points and keeps the mapping identical
+    for any worker count, which is what makes parallel sweeps bit-for-bit
+    reproducible against the serial path.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "little") % (2**63)
+
+
+class SweepTask:
+    """One kind of sweep evaluation; subclass per experiment.
+
+    Subclasses must be picklable (they are shipped to worker processes
+    once, via the pool initializer) and must implement a **lossless**
+    ``encode``/``decode`` pair: ``decode(json.loads(json.dumps(encode(r))))``
+    has to reproduce ``r`` exactly, because cached results round-trip
+    through JSON.
+    """
+
+    #: Stable identifier mixed into cache keys; override per subclass.
+    name: str = "sweep"
+
+    def config_key(self, config: Any) -> Any:
+        """JSON-able identity of one config (cache key component)."""
+        raise NotImplementedError
+
+    def version(self) -> str:
+        """Task-level cache-version token (e.g. a digest of test vectors)."""
+        return ""
+
+    def evaluate(self, config: Any, seed: int) -> Any:
+        """Evaluate one config.  ``seed`` derives from the grid index;
+        deterministic tasks are free to ignore it."""
+        raise NotImplementedError
+
+    def encode(self, result: Any) -> Any:
+        """Result -> JSON-able payload (must be lossless; see class doc)."""
+        return result
+
+    def decode(self, payload: Any, arrays: Optional[dict] = None) -> Any:
+        """JSON-able payload (+ any :meth:`result_arrays`) -> result object.
+
+        The inverse of :meth:`encode`: ``arrays`` carries whatever
+        :meth:`result_arrays` returned for this result (from the worker or
+        the cache's NPZ sidecar), so array-bearing results round-trip too.
+        """
+        return payload
+
+    def result_arrays(self, result: Any) -> Optional[dict]:
+        """Optional numpy arrays to persist alongside the JSON payload.
+
+        Anything returned here is stored in the cache's ``.npz`` sidecar
+        and handed back to :meth:`decode` as its ``arrays`` argument.
+        """
+        return None
+
+
+@dataclass
+class RunStats:
+    """Accounting of one :meth:`ParallelSweepRunner.run` call."""
+
+    total: int = 0
+    evaluated: int = 0
+    cache_hits: int = 0
+    cache_stores: int = 0
+    workers: int = 1
+    seconds: float = 0.0
+
+    def summary(self) -> str:
+        parts = [f"{self.total} configs", f"{self.evaluated} evaluated"]
+        if self.cache_hits or self.cache_stores:
+            parts.append(f"{self.cache_hits} cache hits")
+        parts.append(f"{self.workers} worker{'s' if self.workers != 1 else ''}")
+        parts.append(f"{self.seconds:.2f}s")
+        return ", ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Worker plumbing.  The task object is pickled once and installed in each
+# worker by the pool initializer; work items then carry only (index, config,
+# seed).  Results come back pre-encoded so the parent never re-pickles
+# heavyweight objects and the decode path is shared with the cache.
+# ---------------------------------------------------------------------------
+
+_WORKER_TASK: Optional[SweepTask] = None
+
+
+def _worker_init(task_blob: bytes) -> None:
+    global _WORKER_TASK
+    _WORKER_TASK = pickle.loads(task_blob)
+
+
+def _worker_evaluate(item: Tuple[int, Any, int]) -> Tuple[int, Any, Optional[dict]]:
+    index, config, seed = item
+    assert _WORKER_TASK is not None, "worker used before initialisation"
+    result = _WORKER_TASK.evaluate(config, seed)
+    return index, _WORKER_TASK.encode(result), _WORKER_TASK.result_arrays(result)
+
+
+def _resolve_workers(workers: Optional[int]) -> int:
+    if workers is None or workers <= 0:
+        return max(1, os.cpu_count() or 1)
+    return int(workers)
+
+
+class ParallelSweepRunner:
+    """Shard a config grid across worker processes, with optional caching.
+
+    Parameters
+    ----------
+    task:
+        The :class:`SweepTask` describing how to evaluate one config.
+    workers:
+        Process count; ``1`` runs everything in-process (the serial
+        fallback), ``None``/``0`` uses every available CPU.
+    cache:
+        Optional :class:`~repro.runner.cache.ResultCache`; hits skip
+        evaluation entirely, misses are stored as they complete.
+    base_seed:
+        Root of the per-index seed derivation (:func:`derive_seed`).
+    reporter:
+        Optional progress sink with ``start(total)`` /
+        ``update(done, total, cached=...)`` / ``finish(message)`` methods
+        (see :class:`repro.evaluation.reporting.ProgressReporter`).
+    mp_context:
+        Multiprocessing start method.  Defaults to ``fork`` where available
+        (cheap, shares the already-imported library) and ``spawn`` elsewhere.
+    """
+
+    def __init__(
+        self,
+        task: SweepTask,
+        workers: Optional[int] = 1,
+        cache: Optional[Any] = None,
+        base_seed: int = 0,
+        reporter: Optional[Any] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        self.task = task
+        self.workers = _resolve_workers(workers)
+        self.cache = cache
+        self.base_seed = int(base_seed)
+        self.reporter = reporter
+        if mp_context is None:
+            mp_context = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        self.mp_context = mp_context
+        self.stats = RunStats()
+
+    # ----------------------------------------------------------------- run
+    def run(self, configs: Iterable[Any]) -> List[Any]:
+        """Evaluate every config; returns results in input (grid) order."""
+        configs = list(configs)
+        start_time = time.perf_counter()
+        stats = RunStats(total=len(configs), workers=self.workers)
+        self.stats = stats
+        results: List[Any] = [None] * len(configs)
+        digests: List[Optional[str]] = [None] * len(configs)
+        pending: List[Tuple[int, Any, int]] = []
+
+        if self.reporter is not None:
+            self.reporter.start(len(configs))
+
+        # Serve cache hits first; everything else becomes a work item.
+        version = self.task.version()
+        for index, config in enumerate(configs):
+            if self.cache is not None:
+                digest = self.cache.key(self.task.name, self.task.config_key(config), version)
+                digests[index] = digest
+                hit = self.cache.load(digest)
+                if hit is not None:
+                    results[index] = self.task.decode(hit.payload, hit.arrays or None)
+                    stats.cache_hits += 1
+                    continue
+            pending.append((index, config, derive_seed(self.base_seed, index)))
+
+        done = stats.cache_hits
+        if self.reporter is not None and done:
+            self.reporter.update(done, stats.total, cached=stats.cache_hits)
+
+        def _finish_one(index: int, payload: Any, arrays: Optional[dict]) -> None:
+            nonlocal done
+            results[index] = self.task.decode(payload, arrays)
+            stats.evaluated += 1
+            if self.cache is not None:
+                self.cache.store(digests[index], payload, arrays=arrays)
+                stats.cache_stores += 1
+            done += 1
+            if self.reporter is not None:
+                self.reporter.update(done, stats.total, cached=stats.cache_hits)
+
+        if pending:
+            if self.workers == 1 or len(pending) == 1:
+                # Serial fallback: same encode/decode round-trip as workers use.
+                for index, config, seed in pending:
+                    result = self.task.evaluate(config, seed)
+                    _finish_one(index, self.task.encode(result), self.task.result_arrays(result))
+            else:
+                context = mp.get_context(self.mp_context)
+                task_blob = pickle.dumps(self.task)
+                processes = min(self.workers, len(pending))
+                chunksize = max(1, len(pending) // (processes * 4))
+                with context.Pool(processes, initializer=_worker_init, initargs=(task_blob,)) as pool:
+                    for index, payload, arrays in pool.imap_unordered(
+                        _worker_evaluate, pending, chunksize=chunksize
+                    ):
+                        _finish_one(index, payload, arrays)
+
+        stats.seconds = time.perf_counter() - start_time
+        if self.reporter is not None:
+            self.reporter.finish(stats.summary())
+        return results

@@ -22,7 +22,7 @@ larger blocks out of the same pieces the functional emulation uses.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

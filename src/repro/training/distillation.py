@@ -24,7 +24,6 @@ from repro.nn.autograd import Tensor, no_grad
 from repro.nn.layers import Module
 from repro.nn.losses import cross_entropy, kl_divergence_with_logits, mse_loss
 from repro.nn.vit import CompactVisionTransformer
-from repro.utils.validation import check_positive_int
 
 
 @dataclass(frozen=True)

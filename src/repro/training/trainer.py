@@ -9,10 +9,10 @@ import numpy as np
 
 from repro.nn.autograd import Tensor, no_grad
 from repro.nn.layers import Module
-from repro.nn.losses import accuracy, cross_entropy
+from repro.nn.losses import cross_entropy
 from repro.nn.optim import AdamW, CosineSchedule, Optimizer
 from repro.training.datasets import DatasetSplit
-from repro.utils.rng import SeedLike, as_generator
+from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_int
 
 

@@ -1,5 +1,4 @@
 import numpy as np
-import pytest
 
 from repro.core.sc_vit import ScViTEvaluator, evaluate_softmax_configurations
 from repro.core.softmax_circuit import SoftmaxCircuitConfig

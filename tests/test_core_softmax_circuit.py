@@ -10,7 +10,6 @@ from repro.core.softmax_circuit import (
     calibrate_alpha_y,
 )
 from repro.hw.synthesis import synthesize
-from repro.nn.functional_math import softmax_exact
 
 
 def make_config(**overrides):

@@ -4,7 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.softmax_iterative import IterativeSoftmax
-from repro.nn.functional_math import iterative_softmax_reference, softmax_exact
+from repro.nn.functional_math import iterative_softmax_reference
 
 
 class TestForward:

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.evaluation.error import ErrorReport, compare_against_reference
+from repro.evaluation.error import compare_against_reference
 from repro.evaluation.pareto import pareto_front, pareto_front_points
 from repro.evaluation.reporting import format_markdown_table, format_table, save_json_report
 from repro.evaluation.vectors import (

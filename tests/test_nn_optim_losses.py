@@ -1,7 +1,6 @@
 import numpy as np
 import pytest
 
-from repro.nn import functional as F
 from repro.nn.autograd import Tensor, parameter
 from repro.nn.layers import Linear
 from repro.nn.losses import (

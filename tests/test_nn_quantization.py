@@ -13,7 +13,6 @@ from repro.nn.quantization import (
     apply_precision_scheme,
     bsl_to_levels,
 )
-from repro.nn.vit import CompactVisionTransformer
 
 
 class TestPrecisionScheme:

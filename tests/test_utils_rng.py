@@ -1,5 +1,4 @@
 import numpy as np
-import pytest
 
 from repro.utils.rng import RngMixin, as_generator, spawn_generator
 

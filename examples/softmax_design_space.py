@@ -15,7 +15,6 @@ Run with:  python examples/softmax_design_space.py [--full] [--budget 0.08]
 
 import argparse
 
-import numpy as np
 
 from repro.core import (
     FsmSoftmaxBaseline,

@@ -3,7 +3,7 @@
 PYTEST = PYTHONPATH=src python -m pytest
 REPRO = PYTHONPATH=src python -m repro
 
-.PHONY: test test-fast bench bench-check lint smoke
+.PHONY: test test-fast test-cov bench bench-check lint smoke eval-smoke
 
 ## Tier-1 verification: the full suite, fail-fast.
 test:
@@ -12,6 +12,11 @@ test:
 ## Fast dev loop: skip the slow integration/training tests.
 test-fast:
 	$(PYTEST) -x -q -m "not slow"
+
+## Tier-1 suite under coverage (needs pytest-cov; the CI coverage gate).
+## The floor lives in pyproject.toml ([tool.coverage.report] fail-under).
+test-cov:
+	$(PYTEST) -x -q --cov=repro --cov-report=term --cov-report=xml:coverage.xml
 
 ## Packed-engine perf regression harness (writes benchmarks/results/BENCH_sc_engine.json).
 bench:
@@ -37,3 +42,9 @@ smoke:
 	$(REPRO) verify
 	$(REPRO) dse --max-designs 32 --workers 2 --rows 16 --cache-dir .repro-cache
 	$(REPRO) dse --max-designs 32 --workers 2 --rows 16 --cache-dir .repro-cache
+
+## Eval-pipeline smoke: the acceptance loop — cold run, then a warm run that
+## must be served entirely from cache, with the per-image bit-identity check.
+eval-smoke:
+	$(REPRO) eval --max-images 64 --workers 2 --cache-dir .repro-cache --verify-batched
+	$(REPRO) eval --max-images 64 --workers 2 --cache-dir .repro-cache --verify-batched

@@ -16,7 +16,11 @@ The package mirrors the structure of the paper (DATE 2024):
   report formatting,
 * :mod:`repro.runner` — sweep orchestration: the parallel sweep executor,
   the content-addressed on-disk result cache and the per-experiment sweep
-  tasks behind the ``python -m repro`` CLI.
+  tasks behind the ``python -m repro`` CLI,
+* :mod:`repro.eval_pipeline` — the batched end-to-end SC-ViT evaluation
+  subsystem: streaming whole-split evaluation with chunk-invariant
+  numerics, packed-bitplane fault injection and the ``EvalTask`` sweep
+  registration (``python -m repro eval``).
 
 See ``DESIGN.md`` for the system inventory and the per-experiment index, and
 ``EXPERIMENTS.md`` for measured-vs-paper results.
@@ -24,4 +28,15 @@ See ``DESIGN.md`` for the system inventory and the per-experiment index, and
 
 __version__ = "1.0.0"
 
-__all__ = ["core", "sc", "hw", "nn", "training", "evaluation", "runner", "utils", "__version__"]
+__all__ = [
+    "core",
+    "sc",
+    "hw",
+    "nn",
+    "training",
+    "evaluation",
+    "eval_pipeline",
+    "runner",
+    "utils",
+    "__version__",
+]

@@ -8,8 +8,11 @@ against the serial path (``--workers 1``):
 * ``dse``        — the Fig. 8 softmax design-space exploration + Pareto front,
 * ``gelu-sweep`` — the Fig. 7 GELU BSL/degree sweep,
 * ``tables``     — the table benches (currently Table IV),
+* ``eval``       — batched end-to-end SC-ViT dataset evaluation (accuracy vs
+  BSL / fault-rate grids through :mod:`repro.eval_pipeline`),
 * ``bench``      — the packed-engine perf regression harness (+ floor check),
-* ``verify``     — self-checks: parallel == serial, cache round-trip.
+* ``verify``     — self-checks: parallel == serial, cache round-trip,
+  batched eval == per-image eval.
 
 Test vectors default to the same sizes/seeds the ``benchmarks/`` scripts
 use, so CLI runs and bench runs share cache entries.
@@ -230,6 +233,150 @@ def cmd_tables(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# eval — batched end-to-end SC-ViT dataset evaluation
+# ---------------------------------------------------------------------------
+
+
+def _build_eval_model(args: argparse.Namespace, num_classes: int):
+    from repro.nn.vit import CompactVisionTransformer, ViTConfig
+
+    vit = ViTConfig(
+        image_size=16,
+        patch_size=4,
+        embed_dim=args.embed_dim,
+        num_layers=args.layers,
+        num_heads=args.heads,
+        num_classes=num_classes,
+        norm="bn",
+        seed=args.model_seed,
+    )
+    model = CompactVisionTransformer(vit)
+    if args.checkpoint is not None:
+        from repro.nn.serialization import load_model
+
+        load_model(args.checkpoint, model)
+        print(f"loaded checkpoint {args.checkpoint}")
+    return model
+
+
+def cmd_eval(args: argparse.Namespace) -> int:
+    from repro.eval_pipeline import EvalTask, eval_grid, run_eval_grid
+    from repro.training.datasets import synthetic_cifar10, synthetic_cifar100
+
+    dataset_fn = {"cifar10": synthetic_cifar10, "cifar100": synthetic_cifar100}[args.dataset]
+    num_classes = {"cifar10": 10, "cifar100": 100}[args.dataset]
+    train, test = dataset_fn(
+        train_size=args.train_size, test_size=args.test_size, seed=args.data_seed
+    )
+    available = {"train": (train.images, train.labels), "test": (test.images, test.labels)}
+    model = _build_eval_model(args, num_classes)
+
+    task = EvalTask(
+        model=model,
+        splits={name: available[name] for name in args.splits},
+        calibration_images=train.images[: args.calibration_images],
+        max_images=args.max_images,
+        batch_size=args.batch_size,
+    )
+    configs = eval_grid(
+        by_grid=args.by_grid,
+        s1=args.s1,
+        s2=args.s2,
+        k=args.k,
+        gelu_bsl=args.gelu_bsl,
+        flip_probs=args.flip_probs,
+        splits=args.splits,
+        fault_seed=args.fault_seed,
+    )
+    results = run_eval_grid(
+        task,
+        configs,
+        workers=args.workers,
+        cache=_make_cache(args),
+        reporter=_make_reporter(args, "eval"),
+    )
+    stats = run_eval_grid.last_run_stats
+
+    headers = ["Split", "[By, s1, s2, k]", "GELU BSL", "Flip prob", "Accuracy (%)", "Images"]
+    rows = []
+    for config, result in zip(configs, results):
+        rows.append(
+            (
+                result.split,
+                result.softmax_config.describe(),
+                "exact" if result.gelu_output_bsl is None else result.gelu_output_bsl,
+                config["flip_prob"],
+                round(result.accuracy, 2),
+                result.num_images,
+            )
+        )
+    _print_table("eval accuracy grid", headers, rows)
+    print(f"[{stats.summary()}]")
+    print(f"re-evaluations: {stats.evaluated} ({stats.cache_hits} served from cache)")
+
+    exit_code = 0
+    if args.verify_batched:
+        # Cover every distinct fault rate, not just the (fault-free) first
+        # grid entry: the fault path is exactly where batched/per-image
+        # divergence risk lives (per-image mask seeding, site sequencing).
+        seen_flips = set()
+        for config, result in zip(configs, results):
+            if config["flip_prob"] in seen_flips:
+                continue
+            seen_flips.add(config["flip_prob"])
+            exit_code |= _verify_batched_against_per_image(task, config, result)
+
+    _write_json(
+        args.out,
+        {
+            "dataset": args.dataset,
+            "headers": headers,
+            "rows": [list(r) for r in rows],
+            "stats": {
+                "total": stats.total,
+                "evaluated": stats.evaluated,
+                "cache_hits": stats.cache_hits,
+                "workers": stats.workers,
+                "seconds": stats.seconds,
+            },
+        },
+    )
+    return exit_code
+
+
+def _verify_batched_against_per_image(task, config, batched_result) -> int:
+    """Re-run one grid config through the per-image shim and compare bits."""
+    import numpy as np
+
+    from repro.core.sc_vit import ScViTEvaluator
+    from repro.training.datasets import DatasetSplit
+
+    evaluator = ScViTEvaluator(
+        task.model,
+        task.softmax_config(config),
+        gelu_output_bsl=config.get("gelu_bsl"),
+        calibration_logits=task._calibration(),
+        flip_prob=float(config.get("flip_prob", 0.0)),
+        fault_seed=int(config.get("fault_seed", 0)),
+    )
+    images, labels = task.splits[config["split"]]
+    split = DatasetSplit(images=images, labels=labels)
+    per_image = evaluator.pipeline.evaluate(split, max_images=task.max_images, batch_size=1)
+    if (
+        np.array_equal(per_image.predictions, batched_result.predictions)
+        and per_image.accuracy == batched_result.accuracy
+    ):
+        print(
+            f"PASS batched == per-image ({per_image.num_images} images, "
+            f"config {config['split']}/{task.softmax_config(config).describe()}, "
+            f"flip_prob={config.get('flip_prob', 0.0)})"
+        )
+        return 0
+    print("FAIL batched evaluation differs from the serial per-image path", file=sys.stderr)
+    return 1
+
+
+# ---------------------------------------------------------------------------
 # bench — packed-engine perf regression harness
 # ---------------------------------------------------------------------------
 
@@ -280,22 +427,58 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     floors = payload.get("floors") or harness.SPEEDUP_FLOORS
     failures = []
+    summary_rows = []
     by_name = {row["name"]: row for row in payload["benchmarks"]}
     for name, floor in floors.items():
         row = by_name.get(name)
         if row is None:
-            failures.append(f"{name}: no measurement recorded")
+            failures.append(f"{name}: no measurement recorded (floor {floor:.1f}x)")
+            summary_rows.append((name, "n/a", f"{floor:.1f}x", "n/a", "FAIL (missing)"))
             continue
-        if row["speedup"] < floor:
-            failures.append(f"{name}: speedup {row['speedup']:.1f}x below floor {floor:.1f}x")
+        measured = float(row["speedup"])
+        delta = measured - floor
+        margin = 100.0 * delta / floor
+        detail = (
+            f"{name}: measured {measured:.1f}x vs floor {floor:.1f}x "
+            f"(delta {delta:+.1f}x, margin {margin:+.0f}%)"
+        )
+        status = "ok" if measured >= floor else "FAIL"
+        summary_rows.append((name, f"{measured:.1f}x", f"{floor:.1f}x", f"{delta:+.1f}x", status))
+        if measured < floor:
+            failures.append(detail)
         else:
-            print(f"floor ok: {name} {row['speedup']:.1f}x >= {floor:.1f}x")
+            print(f"floor ok: {detail}")
+    _write_floor_job_summary(summary_rows, failures)
     if failures:
+        # Every regression line carries the measured-vs-floor numbers so a
+        # red CI job shows the magnitude of the regression, not just that
+        # one happened.
         for failure in failures:
             print(f"PERF REGRESSION: {failure}", file=sys.stderr)
         return 1
     print("perf floors: all pass")
     return 0
+
+
+def _write_floor_job_summary(rows: Sequence[Sequence[str]], failures: Sequence[str]) -> None:
+    """Append a measured-vs-floor table to the GitHub Actions job summary.
+
+    ``GITHUB_STEP_SUMMARY`` points at the job-summary file inside Actions and
+    is unset elsewhere, so local runs skip this silently.
+    """
+    import os
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path:
+        return
+    from repro.evaluation.reporting import format_markdown_table
+
+    verdict = "all floors pass" if not failures else f"{len(failures)} floor(s) violated"
+    table = format_markdown_table(
+        ["benchmark", "measured", "floor", "delta", "status"], rows
+    )
+    with open(summary_path, "a") as handle:
+        handle.write(f"### Packed-engine perf floors — {verdict}\n\n{table}\n\n")
 
 
 # ---------------------------------------------------------------------------
@@ -348,9 +531,47 @@ def cmd_verify(args: argparse.Namespace) -> int:
         else:
             failures.append("cached results differ from serial")
 
+    failures.extend(_verify_eval_pipeline())
+
     for failure in failures:
         print(f"FAIL {failure}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def _verify_eval_pipeline() -> List[str]:
+    """Self-checks of the batched eval pipeline on a tiny model/dataset."""
+    import numpy as np
+
+    from repro.core.softmax_circuit import SoftmaxCircuitConfig
+    from repro.eval_pipeline import ScViTEvalPipeline
+    from repro.nn.vit import CompactVisionTransformer, ViTConfig
+    from repro.training.datasets import SyntheticImageDataset
+
+    failures: List[str] = []
+    config = ViTConfig(
+        image_size=8, patch_size=4, num_classes=4, embed_dim=16, num_layers=2,
+        num_heads=2, norm="bn", seed=3,
+    )
+    model = CompactVisionTransformer(config)
+    dataset = SyntheticImageDataset(num_classes=4, image_size=8, seed=5)
+    train, test = dataset.splits(train_size=16, test_size=12)
+    softmax = SoftmaxCircuitConfig(m=64, iterations=2, bx=4, alpha_x=1.0, by=8, alpha_y=0.03, s1=16, s2=4)
+
+    for flip_prob in (0.0, 0.05):
+        pipeline = ScViTEvalPipeline(
+            model, softmax, gelu_output_bsl=4, flip_prob=flip_prob, fault_seed=11,
+            calibration_images=train.images[:4],
+        )
+        batched = pipeline.evaluate(test, batch_size=12)
+        per_image = pipeline.evaluate(test, batch_size=1)
+        if np.array_equal(batched.predictions, per_image.predictions):
+            print(
+                f"PASS eval batched == per-image (flip_prob={flip_prob}, "
+                f"{batched.num_images} images)"
+            )
+        else:
+            failures.append(f"eval batched != per-image at flip_prob={flip_prob}")
+    return failures
 
 
 # ---------------------------------------------------------------------------
@@ -393,6 +614,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_tables.add_argument("--vectors-seed", type=int, default=2024, help="test-vector seed")
     _add_sweep_options(p_tables)
     p_tables.set_defaults(func=cmd_tables)
+
+    p_eval = sub.add_parser("eval", help="batched end-to-end SC-ViT dataset evaluation")
+    p_eval.add_argument("--dataset", choices=["cifar10", "cifar100"], default="cifar10", help="synthetic dataset")
+    p_eval.add_argument("--splits", nargs="+", choices=["train", "test"], default=["test"], help="dataset splits to evaluate")
+    p_eval.add_argument("--train-size", type=int, default=160, help="training split size")
+    p_eval.add_argument("--test-size", type=int, default=96, help="test split size")
+    p_eval.add_argument("--data-seed", type=int, default=0, help="dataset generator seed")
+    p_eval.add_argument("--layers", type=int, default=2, help="ViT depth")
+    p_eval.add_argument("--embed-dim", type=int, default=32, help="ViT embedding dim")
+    p_eval.add_argument("--heads", type=int, default=4, help="attention heads")
+    p_eval.add_argument("--model-seed", type=int, default=0, help="weight-init seed")
+    p_eval.add_argument("--checkpoint", type=Path, default=None, help="trained state-dict (.npz) to load")
+    p_eval.add_argument("--by-grid", type=int, nargs="+", default=[4, 8, 16], help="softmax output BSLs to sweep")
+    p_eval.add_argument("--s1", type=int, default=32, help="softmax s1 sub-sample rate")
+    p_eval.add_argument("--s2", type=int, default=8, help="softmax s2 sub-sample rate")
+    p_eval.add_argument("--k", type=int, default=3, help="softmax iterations")
+    p_eval.add_argument("--gelu-bsl", type=int, default=None, help="route GELU through an SI block of this BSL")
+    p_eval.add_argument("--flip-probs", type=float, nargs="+", default=[0.0], help="bit-flip fault rates to sweep")
+    p_eval.add_argument("--fault-seed", type=int, default=0, help="fault-injection seed")
+    p_eval.add_argument("--max-images", type=int, default=None, help="cap images per split")
+    p_eval.add_argument("--batch-size", type=int, default=32, help="eval chunk size (results are chunk-invariant)")
+    p_eval.add_argument("--calibration-images", type=int, default=32, help="images for the alpha_x calibration")
+    p_eval.add_argument("--verify-batched", action="store_true", help="re-run the first config per-image and compare bit-for-bit")
+    _add_sweep_options(p_eval)
+    p_eval.set_defaults(func=cmd_eval)
 
     p_bench = sub.add_parser("bench", help="packed-engine perf regression harness")
     p_bench.add_argument("--benchmarks-dir", type=Path, default=None, help="path to benchmarks/")

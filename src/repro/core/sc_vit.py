@@ -13,6 +13,13 @@ gate-assisted SI block.  This module closes that gap: it evaluates a trained
 
 which is what the accuracy column of Table VI measures for each softmax
 configuration ``[By, s1, s2, k]``.
+
+:class:`ScViTEvaluator` is now a thin shim over
+:class:`repro.eval_pipeline.ScViTEvalPipeline` — the batched, streaming,
+fault-injectable evaluation subsystem (see ``docs/evaluation.md``).  The
+public API and the evaluation protocol are unchanged; the substitutions now
+run vectorised over the whole batch and under chunk-invariant matmul
+numerics, so results are bit-identical for every ``batch_size``.
 """
 
 from __future__ import annotations
@@ -22,12 +29,11 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.core.gelu_si import GeluSIBlock
-from repro.core.softmax_circuit import IterativeSoftmaxCircuit, SoftmaxCircuitConfig, calibrate_alpha_x
-from repro.nn.autograd import Tensor, no_grad
+from repro.core.softmax_circuit import SoftmaxCircuitConfig
 from repro.nn.vit import CompactVisionTransformer
 from repro.training.datasets import DatasetSplit
-from repro.utils.validation import check_positive_int
+
+__all__ = ["ScViTEvaluationResult", "ScViTEvaluator", "evaluate_softmax_configurations"]
 
 
 @dataclass
@@ -60,6 +66,10 @@ class ScViTEvaluator:
         When several evaluators share one model (the Table VI sweep),
         collecting the logits once and passing them here avoids re-running
         the calibration forward passes per configuration.
+    flip_prob / fault_seed:
+        Optional bit-flip fault injection on every thermometer-stream
+        interface of the emulated circuits (the SC noise-tolerance knob);
+        the default of ``0.0`` is exact, fault-free emulation.
     """
 
     def __init__(
@@ -70,77 +80,45 @@ class ScViTEvaluator:
         calibration_images: Optional[np.ndarray] = None,
         calibrate: bool = True,
         calibration_logits: Optional[np.ndarray] = None,
+        flip_prob: float = 0.0,
+        fault_seed: int = 0,
     ) -> None:
+        # Imported lazily: ``repro.core`` re-exports this module while the
+        # pipeline package imports ``repro.core.gelu_si``, so a module-level
+        # import would be circular whichever package loads first.
+        from repro.eval_pipeline.pipeline import ScViTEvalPipeline
+
         self.model = model
-        tokens = model.config.num_tokens
-        config = softmax_config.clamped_to_vector_length(tokens)
-        if calibrate and calibration_logits is None and calibration_images is not None:
-            from repro.evaluation.vectors import collect_softmax_inputs
+        self.pipeline = ScViTEvalPipeline(
+            model,
+            softmax_config,
+            gelu_output_bsl=gelu_output_bsl,
+            flip_prob=flip_prob,
+            fault_seed=fault_seed,
+            calibration_images=calibration_images,
+            calibrate=calibrate,
+            calibration_logits=calibration_logits,
+        )
 
-            calibration_logits = collect_softmax_inputs(model, calibration_images, max_rows=512)
-        if calibrate and calibration_logits is not None:
-            config = config.with_updates(alpha_x=calibrate_alpha_x(calibration_logits, config.bx))
-        self.softmax_circuit = IterativeSoftmaxCircuit(config)
-        self.gelu_block: Optional[GeluSIBlock] = None
-        if gelu_output_bsl is not None:
-            check_positive_int(gelu_output_bsl, "gelu_output_bsl")
-            self.gelu_block = GeluSIBlock(output_length=gelu_output_bsl)
+    # The circuit objects remain reachable where they always were.
+    @property
+    def softmax_circuit(self):
+        return self.pipeline.softmax_circuit
 
-    # ------------------------------------------------------------- plumbing
-    def _patched_softmax(self, scores: Tensor) -> Tensor:
-        """Run the circuit emulation on the last axis of the score tensor."""
-        flat = scores.data.reshape(-1, scores.shape[-1])
-        out = self.softmax_circuit.forward(flat)
-        # The circuit grid can make a whole row zero / slightly negative;
-        # renormalise non-negatively the way the accelerator's output stage
-        # clamps and rescales attention rows before the value multiply.
-        out = np.clip(out, 0.0, None)
-        row_sum = out.sum(axis=-1, keepdims=True)
-        uniform = np.full_like(out, 1.0 / out.shape[-1])
-        out = np.where(row_sum > 0, out / np.maximum(row_sum, 1e-9), uniform)
-        return Tensor(out.reshape(scores.shape))
+    @property
+    def gelu_block(self):
+        return self.pipeline.gelu_block
 
-    def _patched_gelu(self, x: Tensor) -> Tensor:
-        assert self.gelu_block is not None
-        return Tensor(self.gelu_block.evaluate(x.data))
-
-    def evaluate(self, split: DatasetSplit, batch_size: int = 128, max_images: Optional[int] = None) -> ScViTEvaluationResult:
+    def evaluate(
+        self, split: DatasetSplit, batch_size: int = 128, max_images: Optional[int] = None
+    ) -> ScViTEvaluationResult:
         """Top-1 accuracy of the model under the circuit-level nonlinearities."""
-        model = self.model
-        was_training = model.training
-        model.eval()
-
-        # Monkey-patch the attention softmax (and optionally the MLP GELU) of
-        # every block for the duration of the evaluation.
-        originals = []
-        for block in model.blocks:
-            originals.append((block.attention, block.attention._apply_softmax, block.mlp.activation.forward))
-            block.attention._apply_softmax = self._patched_softmax
-            if self.gelu_block is not None:
-                block.mlp.activation.forward = self._patched_gelu
-
-        images = split.images if max_images is None else split.images[:max_images]
-        labels = split.labels if max_images is None else split.labels[:max_images]
-        correct = 0
-        try:
-            with no_grad():
-                for start in range(0, len(images), batch_size):
-                    chunk = Tensor(images[start : start + batch_size])
-                    logits = model(chunk)
-                    correct += int(np.sum(np.argmax(logits.data, axis=-1) == labels[start : start + batch_size]))
-        finally:
-            for attention, softmax_fn, gelu_fn in originals:
-                attention._apply_softmax = softmax_fn
-            for block, (_, _, gelu_fn) in zip(model.blocks, originals):
-                block.mlp.activation.forward = gelu_fn
-            if was_training:
-                model.train()
-
+        result = self.pipeline.evaluate(split, max_images=max_images, batch_size=batch_size)
         return ScViTEvaluationResult(
-            accuracy=float(100.0 * correct / max(1, len(images))),
-            softmax_config=self.softmax_circuit.config,
-            gelu_output_bsl=self.gelu_block.output_length if self.gelu_block else None,
-            num_images=int(len(images)),
+            accuracy=result.accuracy,
+            softmax_config=result.softmax_config,
+            gelu_output_bsl=result.gelu_output_bsl,
+            num_images=result.num_images,
         )
 
 

@@ -161,11 +161,20 @@ class IterativeSoftmaxCircuit:
         self.config = config
 
     # -------------------------------------------------------------- simulate
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, stream_hook=None) -> np.ndarray:
         """Run the circuit on a batch of logit rows.
 
         ``x`` has shape ``(..., m)``; the returned array has the same shape
         and contains the decoded circuit outputs.
+
+        ``stream_hook``, when given, is called at every thermometer-stream
+        interface of the dataflow — ``hook(site, stream) -> stream`` with
+        ``site`` one of ``"x"`` (the encoded input), ``"y0"`` (the constant
+        initial estimate) or ``"y<i>"`` (the re-encoded output of iteration
+        ``i``) — and its return value replaces the stream.  This is how the
+        eval pipeline threads bit-flip fault injection through the circuit
+        without the emulation ever special-casing faults; ``None`` (the
+        default) keeps the exact historical numerics.
         """
         cfg = self.config
         x = np.asarray(x, dtype=float)
@@ -173,6 +182,8 @@ class IterativeSoftmaxCircuit:
             raise ValueError(f"expected rows of length {cfg.m}, got {x.shape[-1]}")
 
         x_stream = ThermometerStream.encode(x, cfg.bx, cfg.alpha_x)
+        if stream_hook is not None:
+            x_stream = stream_hook("x", x_stream)
         x_levels = x_stream.signed_levels()  # integers in [-Bx/2, Bx/2]
         x_q = x_levels * cfg.alpha_x
 
@@ -186,9 +197,11 @@ class IterativeSoftmaxCircuit:
         y_stream = ThermometerStream.from_quantized(
             np.full(x.shape, init_level, dtype=np.int64), cfg.by, cfg.alpha_y, validate=False
         )
+        if stream_hook is not None:
+            y_stream = stream_hook("y0", y_stream)
 
         z_grid = cfg.alpha_x * cfg.alpha_y  # value of one signed level of a z stream
-        for _ in range(cfg.iterations):
+        for iteration in range(cfg.iterations):
             y_levels = y_stream.signed_levels()
             y_q = y_levels * cfg.alpha_y
 
@@ -216,6 +229,8 @@ class IterativeSoftmaxCircuit:
             # iteration (the division by k is a pure scale change).
             update = y_q + (z_q - prod) / cfg.iterations
             y_stream = ThermometerStream.encode(update, cfg.by, cfg.alpha_y)
+            if stream_hook is not None:
+                y_stream = stream_hook(f"y{iteration + 1}", y_stream)
 
         return y_stream.decode()
 

@@ -46,6 +46,39 @@ def is_grad_enabled() -> bool:
     return _GRAD_ENABLED
 
 
+_BATCH_INVARIANT_MATMUL = False
+
+
+@contextlib.contextmanager
+def batch_invariant_matmul():
+    """Context manager making ``@`` results independent of batch shape.
+
+    BLAS picks different kernels for different operand shapes (a ``(1, K)``
+    row hits the gemv path, a ``(B, K)`` block hits gemm), and those kernels
+    accumulate the ``K`` reduction in different orders — so the *same* logical
+    row can round differently depending on how many rows ride along in the
+    batch.  Inside this context, matmuls between stacked operands run through
+    ``np.einsum``, whose per-element reduction order depends only on the
+    contracted axis; splitting a batch into chunks of any size then produces
+    bit-identical results.  The eval pipeline evaluates whole dataset splits
+    under this mode so its cached accuracies never depend on ``batch_size``.
+    """
+    global _BATCH_INVARIANT_MATMUL
+    previous = _BATCH_INVARIANT_MATMUL
+    _BATCH_INVARIANT_MATMUL = True
+    try:
+        yield
+    finally:
+        _BATCH_INVARIANT_MATMUL = previous
+
+
+def matmul_data(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` with the batch-invariant einsum path when the mode is on."""
+    if _BATCH_INVARIANT_MATMUL and a.ndim >= 2 and b.ndim >= 2:
+        return np.einsum("...ij,...jk->...ik", a, b)
+    return a @ b
+
+
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     """Sum ``grad`` down to ``shape`` undoing numpy broadcasting."""
     if grad.shape == shape:
@@ -245,7 +278,7 @@ class Tensor:
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other = self._coerce(other)
-        data = self.data @ other.data
+        data = matmul_data(self.data, other.data)
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:

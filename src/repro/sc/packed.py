@@ -139,6 +139,52 @@ class PackedBitPlane:
         """All-zero plane for a batch of ``length``-bit streams."""
         return cls(np.zeros(tuple(value_shape) + (_words_for(length),), np.uint64), length)
 
+    @classmethod
+    def from_thermometer_counts(cls, counts: np.ndarray, length: int) -> "PackedBitPlane":
+        """Pack a batch of thermometer streams directly from their one-counts.
+
+        A thermometer stream with one-count ``c`` has its first ``c`` bits set,
+        so each packed word can be computed arithmetically: word ``w`` holds
+        ``min(max(c - 64w, 0), 64)`` leading 1s.  This builds the plane without
+        ever materialising the ``value_shape + (length,)`` bit array, which is
+        what makes whole-split fault-injection sweeps affordable — packing is
+        one vectorised op per batch, not per stream.
+        """
+        counts = np.asarray(counts)
+        if counts.size and (counts.min() < 0 or counts.max() > length):
+            raise ValueError(f"counts must lie in [0, {length}]")
+        num_words = _words_for(length)
+        word_base = np.arange(num_words, dtype=np.int64) * WORD_BITS
+        in_word = np.clip(counts[..., None].astype(np.int64) - word_base, 0, WORD_BITS)
+        # (1 << 64) overflows a uint64 shift, so full words are patched in
+        # afterwards instead of shifted into existence.
+        partial = in_word.astype(np.uint64)
+        words = np.where(
+            in_word >= WORD_BITS,
+            _ALL_ONES,
+            (np.uint64(1) << (partial % np.uint64(WORD_BITS))) - np.uint64(1),
+        )
+        words[..., -1] &= tail_mask(length)
+        return cls(words, length)
+
+    @classmethod
+    def random(
+        cls, value_shape: Tuple[int, ...], length: int, p: float, rng: np.random.Generator
+    ) -> "PackedBitPlane":
+        """Plane whose bits are independent Bernoulli(``p``) draws.
+
+        Used as the XOR fault mask of the bit-flip injection knob: each valid
+        stream bit flips with probability ``p``; tail bits stay zero.  Draws
+        consume ``prod(value_shape) * length`` uniforms from ``rng`` in C
+        order, so the plane is a pure function of the generator state.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must lie in [0, 1]")
+        if p == 0.0:
+            return cls.zeros(value_shape, length)
+        draws = rng.random(tuple(value_shape) + (length,))
+        return cls.from_bits(draws < p)
+
     def to_bits(self, dtype=np.int8) -> np.ndarray:
         """Materialise the explicit bit array, shape ``value_shape + (length,)``."""
         bits = np.unpackbits(self.byte_view(), axis=-1, count=self.length, bitorder="little")

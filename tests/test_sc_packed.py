@@ -262,6 +262,50 @@ class TestSortingNetworkEquivalence:
         assert a._schedule is b._schedule
 
 
+class TestThermometerPackingHelpers:
+    """The batched helpers the eval pipeline's fault injection rides on."""
+
+    @given(seed=st.integers(0, 2**32 - 1), length=LENGTHS)
+    @settings(max_examples=60, deadline=None)
+    def test_from_thermometer_counts_matches_explicit_bits(self, seed, length):
+        rng = np.random.default_rng(seed)
+        counts = rng.integers(0, length + 1, size=(3, 4))
+        plane = PackedBitPlane.from_thermometer_counts(counts, length)
+        positions = np.arange(length)
+        explicit = (positions < counts[..., None]).astype(np.int8)
+        reference = PackedBitPlane.from_bits(explicit)
+        assert np.array_equal(plane.words, reference.words)
+        assert np.array_equal(plane.popcount(), counts)
+
+    def test_from_thermometer_counts_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            PackedBitPlane.from_thermometer_counts(np.array([5]), 4)
+        with pytest.raises(ValueError):
+            PackedBitPlane.from_thermometer_counts(np.array([-1]), 4)
+
+    @given(length=LENGTHS, seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_random_plane_extremes_and_tail(self, length, seed):
+        rng = np.random.default_rng(seed)
+        zeros = PackedBitPlane.random((2, 3), length, 0.0, rng)
+        assert int(zeros.popcount().sum()) == 0
+        ones = PackedBitPlane.random((2, 3), length, 1.0, rng)
+        assert np.array_equal(ones.popcount(), np.full((2, 3), length))
+        # tail invariant: popcount never sees phantom bits
+        assert np.array_equal(ones.to_bits().sum(axis=-1), ones.popcount())
+
+    def test_random_plane_flip_rate_tracks_probability(self):
+        rng = np.random.default_rng(42)
+        plane = PackedBitPlane.random((64,), 256, 0.25, rng)
+        rate = plane.popcount().sum() / (64 * 256)
+        assert 0.2 < rate < 0.3
+
+    def test_random_plane_is_a_pure_function_of_generator_state(self):
+        a = PackedBitPlane.random((5,), 100, 0.3, np.random.default_rng(7))
+        b = PackedBitPlane.random((5,), 100, 0.3, np.random.default_rng(7))
+        assert np.array_equal(a.words, b.words)
+
+
 class TestValidationFastPathsStaySound:
     """The validate=False fast paths must not silently admit streams the
     seed implementation rejected (regression tests for the odd-length

@@ -3,7 +3,7 @@
 PYTEST = PYTHONPATH=src python -m pytest
 REPRO = PYTHONPATH=src python -m repro
 
-.PHONY: test test-fast test-cov bench bench-check lint smoke eval-smoke
+.PHONY: test test-fast test-cov bench bench-check lint smoke eval-smoke api-check api-snapshot
 
 ## Tier-1 verification: the full suite, fail-fast.
 test:
@@ -36,6 +36,15 @@ lint:
 		echo "ruff not installed; running syntax check only"; \
 		python -m compileall -q src tests benchmarks examples && echo "syntax ok"; \
 	fi
+
+## API-surface guard: every registry family builds + spec-round-trips, and
+## the public repro.* export list matches tools/api_surface.txt (CI job).
+api-check:
+	PYTHONPATH=src python tools/check_api_surface.py
+
+## Refresh the export snapshot after an intentional API change.
+api-snapshot:
+	PYTHONPATH=src python tools/check_api_surface.py --update
 
 ## Orchestrator smoke: a reduced parallel DSE sweep + self-checks (CI).
 smoke:

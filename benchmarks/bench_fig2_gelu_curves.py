@@ -16,11 +16,8 @@ GELU exactly, improving as the BSL grows.
 import numpy as np
 from conftest import emit
 
-from repro.core.gelu_si import GeluSIBlock
+from repro.blocks import build
 from repro.nn.functional_math import gelu_exact
-from repro.sc.bernstein import BernsteinPolynomialUnit
-from repro.sc.fsm import FsmGeluUnit
-from repro.sc.selective_interconnect import NaiveSelectiveInterconnect
 
 SWEEP = np.linspace(-3.0, 0.5, 141)
 
@@ -44,22 +41,23 @@ def _fig2_rows():
             )
         )
 
-    fsm = FsmGeluUnit()
+    # Every family goes through the same registry/protocol lifecycle:
+    # stochastic parameters (BSL, seed, input scale) live in the spec and
+    # evaluate(values) is uniform across designs.
     for bsl in (128, 1024):
-        add("FSM [9]", bsl, fsm.evaluate(SWEEP, bitstream_length=bsl, seed=0, input_scale=4.0))
+        fsm = build("gelu/fsm", bitstream_length=bsl, seed=0, input_scale=4.0)
+        add("FSM [9]", bsl, fsm.evaluate(SWEEP))
 
     for bsl in (128, 1024):
-        unit = BernsteinPolynomialUnit(gelu_exact, num_terms=4, input_range=3.0)
-        add("4-term Bernstein [18]", bsl, unit.evaluate(SWEEP, bitstream_length=bsl, seed=0))
+        unit = build("gelu/bernstein", num_terms=4, input_range=3.0, bitstream_length=bsl, seed=0)
+        add("4-term Bernstein [18]", bsl, unit.evaluate(SWEEP))
 
     for bsl in (4, 8):
-        naive = NaiveSelectiveInterconnect(
-            gelu_exact, input_length=32 * bsl, input_scale=8.0 / (32 * bsl), output_length=bsl, output_scale=1.2 / bsl
-        )
+        naive = build("gelu/naive-si", output_length=bsl)
         add("Naive SI [5]", bsl, naive.evaluate(SWEEP))
 
     for bsl in (4, 8):
-        block = GeluSIBlock(output_length=bsl, calibration_samples=SWEEP)
+        block = build("gelu/si", output_length=bsl, calibration_samples=SWEEP)
         add("Gate-assisted SI (ours)", bsl, block.evaluate(SWEEP))
 
     return rows

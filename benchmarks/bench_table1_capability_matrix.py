@@ -1,14 +1,15 @@
 """Table I — capability matrix of published SC designs vs ASCEND.
 
-A documentation table in the paper; regenerated here from the capability
-registry so the claims it encodes (only ASCEND supports ViT-class
-nonlinearities in a deterministic end-to-end SC flow) are backed by the
-implemented blocks rather than prose.
+A documentation table in the paper; regenerated here from the per-family
+capability metadata of the :mod:`repro.blocks` registry, so the claims it
+encodes (only ASCEND supports ViT-class nonlinearities in a deterministic
+end-to-end SC flow) are backed by the registered, buildable block families
+rather than prose.
 """
 
 from conftest import emit
 
-from repro.core.baselines import capability_matrix
+from repro.blocks import capability_matrix
 
 
 def test_table1_capability_matrix(benchmark):

@@ -21,29 +21,33 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core import GeluSIBlock
+from repro.blocks import build
 from repro.evaluation import gelu_input_vectors
-from repro.hw import synthesize
 from repro.nn.functional_math import gelu_exact
-from repro.sc import BernsteinPolynomialUnit, FsmGeluUnit, NaiveSelectiveInterconnect
 
 OUTPUT_CSV = Path(__file__).parent / "gelu_transfer_curves.csv"
 
 
 def transfer_curves(sweep):
-    """Compute every design's transfer curve over ``sweep`` (Fig. 2)."""
+    """Compute every design's transfer curve over ``sweep`` (Fig. 2).
+
+    Every family is built through the :mod:`repro.blocks` registry and
+    evaluated through the uniform ``evaluate(values)`` protocol — the
+    stochastic lifecycle parameters (BSL, seed, input scale) live in the
+    block's spec instead of per-call arguments.
+    """
     curves = {"input": sweep, "exact_gelu": gelu_exact(sweep)}
-    fsm = FsmGeluUnit()
     for bsl in (128, 1024):
-        curves[f"fsm_{bsl}b"] = fsm.evaluate(sweep, bitstream_length=bsl, seed=0, input_scale=4.0)
-    bernstein = BernsteinPolynomialUnit(gelu_exact, num_terms=4, input_range=3.0)
+        fsm = build("gelu/fsm", bitstream_length=bsl, seed=0, input_scale=4.0)
+        curves[f"fsm_{bsl}b"] = fsm.evaluate(sweep)
     for bsl in (128, 1024):
-        curves[f"bernstein4_{bsl}b"] = bernstein.evaluate(sweep, bitstream_length=bsl, seed=0)
+        bernstein = build("gelu/bernstein", num_terms=4, input_range=3.0, bitstream_length=bsl, seed=0)
+        curves[f"bernstein4_{bsl}b"] = bernstein.evaluate(sweep)
     for bsl in (4, 8):
-        naive = NaiveSelectiveInterconnect(gelu_exact, 32 * bsl, 8.0 / (32 * bsl), bsl, 1.2 / bsl)
+        naive = build("gelu/naive-si", output_length=bsl)
         curves[f"naive_si_{bsl}b"] = naive.evaluate(sweep)
     for bsl in (4, 8):
-        ours = GeluSIBlock(output_length=bsl, calibration_samples=sweep)
+        ours = build("gelu/si", output_length=bsl, calibration_samples=sweep)
         curves[f"gate_assisted_si_{bsl}b"] = ours.evaluate(sweep)
     return curves
 
@@ -53,15 +57,15 @@ def cost_error_table(samples):
     reference = gelu_exact(samples)
     rows = []
     for terms in (4, 5, 6):
-        unit = BernsteinPolynomialUnit(gelu_exact, num_terms=terms, input_range=3.0)
-        report = synthesize(unit.build_hardware(1024))
-        mae = np.mean(np.abs(unit.evaluate(samples[:2000], 1024, seed=terms) - reference[:2000]))
-        rows.append((f"Bernstein {terms}-term @1024b", report.area_um2, report.delay_ns, report.adp, mae))
+        unit = build("gelu/bernstein", num_terms=terms, input_range=3.0, bitstream_length=1024, seed=terms)
+        cost = unit.hardware_summary()
+        mae = np.mean(np.abs(unit.evaluate(samples[:2000]) - reference[:2000]))
+        rows.append((f"Bernstein {terms}-term @1024b", cost["area_um2"], cost["delay_ns"], cost["adp"], mae))
     for bsl in (2, 4, 8):
-        block = GeluSIBlock(output_length=bsl, calibration_samples=samples)
-        report = synthesize(block.build_hardware())
+        block = build("gelu/si", output_length=bsl, calibration_samples=samples)
+        cost = block.hardware_summary()
         mae = np.mean(np.abs(block.evaluate(samples) - reference))
-        rows.append((f"Gate-assisted SI {bsl}b", report.area_um2, report.delay_ns, report.adp, mae))
+        rows.append((f"Gate-assisted SI {bsl}b", cost["area_um2"], cost["delay_ns"], cost["adp"], mae))
     return rows
 
 

@@ -2,6 +2,10 @@
 
 The package mirrors the structure of the paper (DATE 2024):
 
+* :mod:`repro.blocks` — the unified circuit-block API: the
+  ``NonlinearBlock`` protocol, frozen JSON-round-trippable block specs, the
+  string-keyed block registry (``build("softmax/iterative", ...)``) and the
+  declarative ``ExperimentSpec`` files behind ``python -m repro run``,
 * :mod:`repro.sc` — the stochastic-computing substrate (encodings, bitstream
   arithmetic, sorting networks, baseline nonlinear units),
 * :mod:`repro.hw` — the hardware cost model standing in for the paper's
@@ -29,6 +33,7 @@ See ``DESIGN.md`` for the system inventory and the per-experiment index, and
 __version__ = "1.0.0"
 
 __all__ = [
+    "blocks",
     "core",
     "sc",
     "hw",

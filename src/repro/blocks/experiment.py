@@ -1,0 +1,167 @@
+"""Declarative experiment files: :class:`ExperimentSpec` and ``repro run``.
+
+An experiment file is a JSON document naming a task, its parameter/block
+grid, and runner options::
+
+    {
+      "name": "fig8-smoke",
+      "description": "reduced Fig. 8 DSE slice",
+      "task": "dse",
+      "params": {"grid": "tiny", "max_designs": 32, "rows": 16, "bx": [4]},
+      "runner": {"workers": 2, "cache_dir": ".repro-cache"}
+    }
+
+``python -m repro run spec.json`` executes it through exactly the same code
+path as the equivalent hand-typed subcommand (``python -m repro dse
+--grid tiny --max-designs 32 ...``), so a spec run and a CLI run share
+sweep-cache entries byte for byte — sweeps and evals are data, not code.
+
+* ``task`` — one of the sweep subcommands: ``dse``, ``gelu-sweep``,
+  ``tables``, ``eval``.
+* ``params`` — the subcommand's options with underscores for dashes
+  (``max_designs`` for ``--max-designs``).  Lists become multi-value
+  options, booleans become flags.  For the grid-shaped tasks these entries
+  *are* the block-spec grid: ``eval``'s ``by_grid``/``s1``/``s2``/``k``
+  axes enumerate ``softmax/iterative`` specs, ``gelu_bsl`` selects the
+  ``gelu/si`` spec, and ``dse``'s ``grid`` preset names the
+  :class:`~repro.blocks.specs.SoftmaxCircuitConfig` grid.
+* ``runner`` — shared sweep options (``workers``, ``cache_dir``,
+  ``no_cache``, ``out``, ``quiet``); kept separate from ``params`` so the
+  experiment's identity and its execution knobs don't mix.
+
+Keys are validated against the CLI parser up front, so a typo in a spec
+file fails with the list of known options instead of an argparse usage
+dump.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["ExperimentSpec", "RUNNABLE_TASKS"]
+
+#: Subcommands an experiment file may name (the sweep-shaped ones; ``bench``
+#: and ``verify`` take no experiment-identity parameters).
+RUNNABLE_TASKS = ("dse", "gelu-sweep", "tables", "eval")
+
+_TOP_LEVEL_KEYS = {"name", "description", "task", "params", "runner"}
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One declarative experiment: a task, its grid, and runner options."""
+
+    task: str
+    name: str = ""
+    description: str = ""
+    params: Dict[str, Any] = field(default_factory=dict)
+    runner: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.task not in RUNNABLE_TASKS:
+            raise ValueError(
+                f"unknown experiment task {self.task!r} (runnable: {', '.join(RUNNABLE_TASKS)})"
+            )
+        overlap = set(self.params) & set(self.runner)
+        if overlap:
+            raise ValueError(f"keys appear in both params and runner: {sorted(overlap)}")
+
+    # -------------------------------------------------------------- round-trip
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ExperimentSpec":
+        if not isinstance(payload, dict):
+            raise ValueError(f"experiment spec must be a JSON object, got {type(payload).__name__}")
+        unknown = set(payload) - _TOP_LEVEL_KEYS
+        if unknown:
+            raise ValueError(
+                f"unknown experiment keys {sorted(unknown)} (expected {sorted(_TOP_LEVEL_KEYS)})"
+            )
+        if "task" not in payload:
+            raise ValueError("experiment spec needs a 'task' entry")
+        return cls(
+            task=str(payload["task"]),
+            name=str(payload.get("name", "")),
+            description=str(payload.get("description", "")),
+            params=dict(payload.get("params", {})),
+            runner=dict(payload.get("runner", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "ExperimentSpec":
+        path = Path(path)
+        try:
+            spec = cls.from_json(path.read_text())
+        except (ValueError, KeyError) as exc:
+            raise ValueError(f"{path}: {exc}") from exc
+        return spec
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    # ------------------------------------------------------------- execution
+    def to_argv(self, overrides: Optional[Dict[str, Any]] = None) -> List[str]:
+        """The equivalent CLI invocation, e.g. ``["dse", "--rows", "16"]``.
+
+        ``overrides`` (same key convention) replace runner entries — this is
+        how ``repro run --workers 8 spec.json`` retargets a spec without
+        editing the file.
+        """
+        merged = dict(self.params)
+        merged.update(self.runner)
+        if overrides:
+            merged.update(overrides)
+        argv = [self.task]
+        for key, value in merged.items():
+            option = "--" + str(key).replace("_", "-")
+            if value is None or value is False:
+                continue
+            if value is True:
+                argv.append(option)
+                continue
+            argv.append(option)
+            if isinstance(value, (list, tuple)):
+                argv.extend(str(v) for v in value)
+            else:
+                argv.append(str(value))
+        return argv
+
+    def validate_options(self, parser: Any) -> None:
+        """Check every params/runner key against the task's CLI options.
+
+        ``parser`` is the root ``argparse`` parser of the repro CLI (the
+        caller passes it in; this module never imports the CLI, which keeps
+        ``repro.blocks`` importable from anywhere).
+        """
+        import argparse
+
+        subparser = None
+        for action in parser._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                subparser = action.choices.get(self.task)
+        if subparser is None:  # pragma: no cover - RUNNABLE_TASKS guards this
+            raise ValueError(f"CLI has no {self.task!r} subcommand")
+        known = {
+            option[2:].replace("-", "_")
+            for option in subparser._option_string_actions
+            if option.startswith("--")
+        }
+        unknown = [key for key in (*self.params, *self.runner) if str(key) not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown option(s) {sorted(map(str, unknown))} for task {self.task!r} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+
+    def describe(self) -> str:
+        label = self.name or self.task
+        return f"{label}: repro {' '.join(self.to_argv())}"

@@ -10,6 +10,11 @@ against the serial path (``--workers 1``):
 * ``tables``     — the table benches (currently Table IV),
 * ``eval``       — batched end-to-end SC-ViT dataset evaluation (accuracy vs
   BSL / fault-rate grids through :mod:`repro.eval_pipeline`),
+* ``run``        — execute declarative experiment files
+  (:class:`repro.blocks.ExperimentSpec` JSON; see ``examples/specs/``),
+* ``blocks``     — list the registered circuit-block families
+  (:mod:`repro.blocks`), their encodings, parameter schemas and hardware
+  cost, or regenerate the Table I capability matrix,
 * ``bench``      — the packed-engine perf regression harness (+ floor check),
 * ``verify``     — self-checks: parallel == serial, cache round-trip,
   batched eval == per-image eval.
@@ -377,6 +382,131 @@ def _verify_batched_against_per_image(task, config, batched_result) -> int:
 
 
 # ---------------------------------------------------------------------------
+# run — declarative experiment files (repro.blocks.ExperimentSpec)
+# ---------------------------------------------------------------------------
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.blocks.experiment import ExperimentSpec
+
+    overrides = {}
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.cache_dir is not None:
+        overrides["cache_dir"] = args.cache_dir
+    if args.out is not None:
+        overrides["out"] = args.out
+    if args.quiet:
+        overrides["quiet"] = True
+
+    if args.out is not None and len(args.spec) > 1:
+        raise SystemExit(
+            "--out overrides a single spec's output path and would be overwritten "
+            "per spec; with multiple spec files set runner.out inside each file"
+        )
+
+    parser = build_parser()
+    # Load and validate every spec before running any: a typo in the third
+    # file should not surface after an hour of sweeping the first two.
+    try:
+        specs = [ExperimentSpec.from_file(path) for path in args.spec]
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc)) from exc
+    for path, spec in zip(args.spec, specs):
+        try:
+            spec.validate_options(parser)
+        except ValueError as exc:
+            raise SystemExit(f"{path}: {exc}") from exc
+
+    exit_code = 0
+    for path, spec in zip(args.spec, specs):
+        argv = spec.to_argv(overrides)
+        print(f"== {spec.name or spec.task} ({path}) ==")
+        if spec.description:
+            print(spec.description)
+        print(f"-> repro {' '.join(argv)}")
+        run_args = parser.parse_args(argv)
+        exit_code |= int(run_args.func(run_args) or 0)
+    return exit_code
+
+
+# ---------------------------------------------------------------------------
+# blocks — the circuit-block registry catalog
+# ---------------------------------------------------------------------------
+
+
+def _format_default(value: Any) -> str:
+    if value is ...:
+        return "<required>"
+    if value is None:
+        return "auto"
+    return repr(value)
+
+
+def cmd_blocks(args: argparse.Namespace) -> int:
+    import repro.blocks as blocks
+
+    if args.table1:
+        rows = [
+            (
+                row.design,
+                row.supported_model,
+                row.encoding_format,
+                ", ".join(row.supported_functions),
+                row.implementation_method,
+            )
+            for row in blocks.capability_matrix()
+        ]
+        _print_table(
+            "table1 capability matrix (from the block registry)",
+            ["SC design", "Model", "Encoding", "Functions", "Method"],
+            rows,
+        )
+        _write_json(
+            args.out,
+            {"rows": [list(r) for r in rows]},
+        )
+        return 0
+
+    rows = []
+    payload = {"blocks": {}}
+    for name in blocks.names():
+        entry = blocks.get(name)
+        schema = entry.spec_cls.field_defaults()
+        params = ", ".join(f"{k}={_format_default(v)}" for k, v in schema.items())
+        # None (not NaN) when synthesis is skipped: NaN is not valid JSON.
+        cost = None if args.no_hardware else blocks.build(name).hardware_summary()
+        rows.append(
+            (
+                name,
+                entry.function,
+                f"{entry.input_encoding} -> {entry.output_encoding}",
+                params,
+                "n/a" if cost is None else round(cost["area_um2"], 1),
+                "n/a" if cost is None else round(cost["delay_ns"], 3),
+                "n/a" if cost is None else round(cost["adp"], 1),
+            )
+        )
+        payload["blocks"][name] = {
+            "function": entry.function,
+            "method": entry.method,
+            "description": entry.description,
+            "input_encoding": entry.input_encoding,
+            "output_encoding": entry.output_encoding,
+            "parameters": {k: (None if v is ... else v) for k, v in schema.items()},
+            "hardware": cost,
+            "default_spec": blocks.default_spec(name).to_dict(),
+        }
+    _print_table(
+        "registered circuit blocks (defaults-built hardware cost)",
+        ["Family", "Function", "Encoding", "Parameters", "Area (um2)", "Delay (ns)", "ADP"],
+        rows,
+    )
+    _write_json(args.out, payload)
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # bench — packed-engine perf regression harness
 # ---------------------------------------------------------------------------
 
@@ -639,6 +769,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--verify-batched", action="store_true", help="re-run the first config per-image and compare bit-for-bit")
     _add_sweep_options(p_eval)
     p_eval.set_defaults(func=cmd_eval)
+
+    p_run = sub.add_parser("run", help="execute declarative experiment spec files (JSON)")
+    p_run.add_argument("spec", nargs="+", type=Path, help="experiment spec file(s); see examples/specs/")
+    p_run.add_argument("--workers", type=int, default=None, help="override the specs' worker count")
+    p_run.add_argument("--cache-dir", default=None, help="override the specs' cache directory")
+    p_run.add_argument("--out", type=Path, default=None, help="override the specs' JSON output path")
+    p_run.add_argument("--quiet", action="store_true", help="suppress progress output")
+    p_run.set_defaults(func=cmd_run)
+
+    p_blocks = sub.add_parser("blocks", help="list the registered circuit-block families")
+    p_blocks.add_argument("--table1", action="store_true", help="print the Table I capability matrix instead")
+    p_blocks.add_argument("--no-hardware", action="store_true", help="skip the hardware-cost synthesis column")
+    p_blocks.add_argument("--out", type=Path, default=None, help="write the catalog as JSON to this path")
+    p_blocks.set_defaults(func=cmd_blocks)
 
     p_bench = sub.add_parser("bench", help="packed-engine perf regression harness")
     p_bench.add_argument("--benchmarks-dir", type=Path, default=None, help="path to benchmarks/")

@@ -21,8 +21,8 @@ from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.softmax_circuit import (
-    IterativeSoftmaxCircuit,
+from repro.blocks import build as build_block
+from repro.blocks.specs import (
     SoftmaxCircuitConfig,
     calibrate_alpha_x,
     calibrate_alpha_y,
@@ -84,9 +84,9 @@ def evaluate_design(
     """
     if not config.is_feasible():
         return DesignPoint(config=config, feasible=False)
-    circuit = IterativeSoftmaxCircuit(config)
-    report: SynthesisReport = synthesize(circuit.build_hardware(), library)
-    mae = circuit.mean_absolute_error(test_vectors)
+    block = build_block("softmax/iterative", spec=config)
+    report: SynthesisReport = synthesize(block.build_hardware(), library)
+    mae = block.mean_absolute_error(test_vectors)
     return DesignPoint(
         config=config,
         feasible=True,

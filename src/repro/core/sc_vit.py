@@ -29,7 +29,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.core.softmax_circuit import SoftmaxCircuitConfig
+from repro.blocks.specs import SoftmaxCircuitConfig
+from repro.eval_pipeline.pipeline import ScViTEvalPipeline
 from repro.nn.vit import CompactVisionTransformer
 from repro.training.datasets import DatasetSplit
 
@@ -83,11 +84,6 @@ class ScViTEvaluator:
         flip_prob: float = 0.0,
         fault_seed: int = 0,
     ) -> None:
-        # Imported lazily: ``repro.core`` re-exports this module while the
-        # pipeline package imports ``repro.core.gelu_si``, so a module-level
-        # import would be circular whichever package loads first.
-        from repro.eval_pipeline.pipeline import ScViTEvalPipeline
-
         self.model = model
         self.pipeline = ScViTEvalPipeline(
             model,
@@ -100,7 +96,9 @@ class ScViTEvaluator:
             calibration_logits=calibration_logits,
         )
 
-    # The circuit objects remain reachable where they always were.
+    # The circuit blocks remain reachable where they always were (now as
+    # `repro.blocks` registry adapters; the wrapped implementations sit one
+    # attribute deeper at `.circuit` / `.block`).
     @property
     def softmax_circuit(self):
         return self.pipeline.softmax_circuit

@@ -27,127 +27,31 @@ design space of Table II / Fig. 8 is swept by :mod:`repro.core.dse`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-
 import numpy as np
 
+from repro.blocks.specs import (  # noqa: F401  (re-exported: historical home)
+    SoftmaxCircuitConfig,
+    calibrate_alpha_x,
+    calibrate_alpha_y,
+)
 from repro.hw.netlist import ComponentInventory, HardwareModule
 from repro.nn.functional_math import softmax_exact
 from repro.sc.arithmetic import thermometer_multiplier_hardware
 from repro.sc.bitstream import ThermometerStream
 from repro.sc.rescaling import RescalingBlock
 from repro.sc.sorting_network import BitonicSortingNetwork
-from repro.utils.validation import check_positive_int
 
+__all__ = [
+    "SoftmaxCircuitConfig",
+    "IterativeSoftmaxCircuit",
+    "calibrate_alpha_x",
+    "calibrate_alpha_y",
+]
 
-@dataclass(frozen=True)
-class SoftmaxCircuitConfig:
-    """Parameters of the softmax circuit block (Table II of the paper).
-
-    Attributes
-    ----------
-    m:
-        Length of the softmax row vector (64 for the evaluated ViT).
-    iterations:
-        Iteration count ``k`` of Algorithm 1.
-    bx, alpha_x:
-        Bitstream length and scaling factor of the input ``x``.
-    by, alpha_y:
-        Bitstream length and scaling factor of the output ``y``.
-    s1:
-        Sub-sample rate applied to ``sum(z)`` after BSN ①.
-    s2:
-        Sub-sample rate applied to ``y * sum(z)`` after MUL ②.
-    """
-
-    m: int = 64
-    iterations: int = 3
-    bx: int = 4
-    alpha_x: float = 2.0
-    by: int = 8
-    alpha_y: float = 0.03125
-    s1: int = 32
-    s2: int = 8
-
-    def __post_init__(self) -> None:
-        check_positive_int(self.m, "m")
-        check_positive_int(self.iterations, "iterations")
-        check_positive_int(self.bx, "bx")
-        check_positive_int(self.by, "by")
-        check_positive_int(self.s1, "s1")
-        check_positive_int(self.s2, "s2")
-        if self.alpha_x <= 0 or self.alpha_y <= 0:
-            raise ValueError("scaling factors must be positive")
-
-    # ------------------------------------------------------------ geometry
-    @property
-    def z_length(self) -> int:
-        """BSL of each product ``z_i = x_i * y_i``."""
-        return self.bx * self.by // 2
-
-    @property
-    def sum_length_raw(self) -> int:
-        """BSL of ``sum(z)`` before sub-sampling (concatenation of m products)."""
-        return self.m * self.z_length
-
-    @property
-    def sum_length(self) -> int:
-        """BSL of ``sum(z)`` after the ``s1`` sub-sampling.
-
-        When ``s1`` does not divide the raw length the stream is padded up to
-        the next multiple (constant bits cost nothing in a sorted stream), so
-        the result is the ceiling division.
-        """
-        return max(1, -(-self.sum_length_raw // self.s1))
-
-    @property
-    def prod_length_raw(self) -> int:
-        """BSL of ``y_i * sum(z)`` before the ``s2`` sub-sampling."""
-        return max(1, self.by * self.sum_length // 2)
-
-    @property
-    def prod_length(self) -> int:
-        """BSL of ``y_i * sum(z)`` after the ``s2`` sub-sampling."""
-        return max(1, -(-self.prod_length_raw // self.s2))
-
-    def is_feasible(self) -> bool:
-        """True when the configuration can be built.
-
-        Only configurations whose multiplier output widths collapse to
-        nothing (odd ``Bx * By`` products) or whose sub-sample rates exceed
-        the streams they shorten are rejected; sub-sample rates that do not
-        divide a stream exactly are handled by padding, as in the hardware.
-        """
-        if self.bx * self.by % 2 != 0:
-            return False
-        if self.s1 > self.sum_length_raw:
-            return False
-        if self.s2 > self.prod_length_raw:
-            return False
-        return True
-
-    def with_updates(self, **kwargs) -> "SoftmaxCircuitConfig":
-        """Return a copy with selected fields replaced."""
-        return replace(self, **kwargs)
-
-    def clamped_to_vector_length(self, m: int) -> "SoftmaxCircuitConfig":
-        """Retarget the block to vectors of length ``m``.
-
-        The sub-sample rates are upper-bounded by the streams they shorten:
-        a smaller attention matrix (fewer tokens) produces shorter ``sum(z)``
-        streams, so the Table VI parameters saturate at full sub-sampling
-        rather than becoming unbuildable.
-        """
-        check_positive_int(m, "m")
-        retargeted = self.with_updates(m=m)
-        s1 = min(self.s1, retargeted.sum_length_raw)
-        retargeted = retargeted.with_updates(s1=s1)
-        s2 = min(self.s2, retargeted.prod_length_raw)
-        return retargeted.with_updates(s2=s2)
-
-    def describe(self) -> str:
-        """Short form used by the benches: ``[By, s1, s2, k]`` as in Table VI."""
-        return f"[{self.by}, {self.s1}, {self.s2}, {self.iterations}]"
+# ``SoftmaxCircuitConfig`` (and the two ``calibrate_alpha_*`` helpers) moved
+# to :mod:`repro.blocks.specs` as the spec of the ``softmax/iterative``
+# registry family; the imports above keep this module as a compatible home
+# for historical callers.
 
 
 class IterativeSoftmaxCircuit:
@@ -311,39 +215,3 @@ class IterativeSoftmaxCircuit:
                 "s2": cfg.s2,
             },
         )
-
-
-def calibrate_alpha_x(logits: np.ndarray, bx: int, coverage: float = 0.999) -> float:
-    """Choose the input scaling factor so the given coverage of logits fits.
-
-    The attention logits collected from the ViT have a heavy-tailed
-    distribution; clipping the extreme tail (rather than covering the
-    absolute max) gives a finer grid and lower overall MAE, the usual
-    calibration practice for post-training quantisation.
-    """
-    check_positive_int(bx, "bx")
-    logits = np.abs(np.asarray(logits, dtype=float)).reshape(-1)
-    if logits.size == 0:
-        raise ValueError("need at least one logit sample")
-    bound = float(np.quantile(logits, coverage))
-    bound = max(bound, 1e-6)
-    return 2.0 * bound / bx
-
-
-def calibrate_alpha_y(by: int, m: int, headroom: float = 2.0) -> float:
-    """Choose the output scaling factor for softmax values.
-
-    Softmax outputs over an ``m``-long row concentrate around ``1/m`` with a
-    few dominant entries, so the representable range is set to a small
-    multiple of ``8/m`` and widened slowly (fourth root) as the BSL grows:
-    longer streams spend most of their extra levels on resolution, which is
-    what minimises MAE on realistic attention rows.  The DSE sweep of Fig. 8
-    additionally treats a multiplier on this value as a free parameter.
-    """
-    check_positive_int(by, "by")
-    check_positive_int(m, "m")
-    if headroom <= 0:
-        raise ValueError("headroom must be positive")
-    base_range = min(0.5, headroom * 8.0 / m)
-    target_max = base_range * (by / 8.0) ** 0.25
-    return 2.0 * target_max / by

@@ -34,12 +34,8 @@ from typing import Iterator, Optional
 
 import numpy as np
 
-from repro.core.gelu_si import GeluSIBlock
-from repro.core.softmax_circuit import (
-    IterativeSoftmaxCircuit,
-    SoftmaxCircuitConfig,
-    calibrate_alpha_x,
-)
+from repro.blocks import build as build_block
+from repro.blocks.specs import SoftmaxCircuitConfig, calibrate_alpha_x
 from repro.eval_pipeline.faults import BitFlipFaultModel
 from repro.nn.autograd import Tensor, batch_invariant_matmul, no_grad
 from repro.nn.vit import CompactVisionTransformer
@@ -128,11 +124,17 @@ class ScViTEvalPipeline:
             calibration_logits = collect_softmax_inputs(model, calibration_images, max_rows=512)
         if calibrate and calibration_logits is not None:
             config = config.with_updates(alpha_x=calibrate_alpha_x(calibration_logits, config.bx))
-        self.softmax_circuit = IterativeSoftmaxCircuit(config)
-        self.gelu_block: Optional[GeluSIBlock] = None
+        # Circuit implementations come through the block registry — this
+        # module never imports repro.core, which is what keeps the layering
+        # acyclic (repro.core.sc_vit imports this module at module level).
+        # The handles kept here are the registry adapters themselves; every
+        # attribute used below (forward/config, evaluate/process and the
+        # declared stream formats) is part of their public surface.
+        self.softmax_circuit = build_block("softmax/iterative", spec=config)
+        self.gelu_block = None
         if gelu_output_bsl is not None:
             check_positive_int(gelu_output_bsl, "gelu_output_bsl")
-            self.gelu_block = GeluSIBlock(output_length=gelu_output_bsl)
+            self.gelu_block = build_block("gelu/si", output_length=gelu_output_bsl)
         self.fault_model: Optional[BitFlipFaultModel] = None
         if flip_prob > 0.0:
             self.fault_model = BitFlipFaultModel(flip_prob, seed=fault_seed)

@@ -25,7 +25,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.softmax_circuit import SoftmaxCircuitConfig, calibrate_alpha_y
+from repro.blocks.specs import SoftmaxCircuitConfig, calibrate_alpha_y
 from repro.eval_pipeline.pipeline import EvalResult, ScViTEvalPipeline
 from repro.runner.cache import array_digest
 from repro.runner.runner import ParallelSweepRunner, SweepTask

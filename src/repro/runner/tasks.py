@@ -20,12 +20,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.dse import DesignPoint, evaluate_design
-from repro.core.softmax_circuit import (
+from repro.blocks.specs import (
     SoftmaxCircuitConfig,
     calibrate_alpha_x,
     calibrate_alpha_y,
 )
+from repro.core.dse import DesignPoint, evaluate_design
 from repro.runner.cache import array_digest
 from repro.runner.runner import ParallelSweepRunner, SweepTask
 
@@ -133,27 +133,30 @@ class GeluSweepTask(SweepTask):
         )
 
     def evaluate(self, config: Dict[str, Any], seed: int) -> Tuple[str, int, float, float]:
-        from repro.core.gelu_si import GeluSIBlock
-        from repro.hw.synthesis import synthesize
+        from repro.blocks import build
         from repro.nn.functional_math import gelu_exact
-        from repro.sc.bernstein import BernsteinPolynomialUnit
 
         samples = self.samples
         reference = gelu_exact(samples)
         bsl = int(config["bsl"])
         if config["kind"] == "bernstein":
             terms = int(config["terms"])
-            unit = BernsteinPolynomialUnit(gelu_exact, num_terms=terms, input_range=self.input_range)
-            report = synthesize(unit.build_hardware(bsl))
+            # Historical protocol: the per-series noise seed is the term count.
+            block = build(
+                "gelu/bernstein",
+                num_terms=terms,
+                input_range=self.input_range,
+                bitstream_length=bsl,
+                seed=terms,
+            )
             rows = self.bernstein_eval_rows
-            out = unit.evaluate(samples[:rows], bsl, seed=terms)
+            out = block.evaluate(samples[:rows])
             mae = float(np.mean(np.abs(out - reference[:rows])))
-            return (f"{terms}-term Bern. Poly.", bsl, report.adp, mae)
+            return (f"{terms}-term Bern. Poly.", bsl, block.hardware_summary()["adp"], mae)
         if config["kind"] == "si":
-            block = GeluSIBlock(output_length=bsl, calibration_samples=samples)
-            report = synthesize(block.build_hardware())
+            block = build("gelu/si", output_length=bsl, calibration_samples=samples)
             mae = float(np.mean(np.abs(block.evaluate(samples) - reference)))
-            return ("Gate-Assisted SI (ours)", bsl, report.adp, mae)
+            return ("Gate-Assisted SI (ours)", bsl, block.hardware_summary()["adp"], mae)
         raise ValueError(f"unknown GELU sweep config kind: {config['kind']!r}")
 
     def decode(self, payload: Sequence[Any], arrays: Optional[dict] = None) -> Tuple[str, int, float, float]:
@@ -225,16 +228,14 @@ class Table4Task(SweepTask):
         return f"logits:{array_digest(self.logits)};params:{params}"
 
     def evaluate(self, config: Dict[str, Any], seed: int) -> Tuple[str, float, float, float, float]:
-        from repro.core.baselines import FsmSoftmaxBaseline
-        from repro.core.softmax_circuit import IterativeSoftmaxCircuit
-        from repro.hw.synthesis import synthesize
+        from repro.blocks import build
 
         if config["kind"] == "fsm":
             bsl = int(config["bsl"])
-            baseline = FsmSoftmaxBaseline(m=self.m, bitstream_length=bsl, seed=bsl)
-            report = synthesize(baseline.build_hardware())
-            mae = baseline.mean_absolute_error(self.logits)
-            return (f"FSM [17] {bsl}b BSL", report.area_um2, report.delay_ns, report.adp, mae)
+            block = build("softmax/fsm", m=self.m, bitstream_length=bsl, seed=bsl)
+            cost = block.hardware_summary()
+            mae = block.mean_absolute_error(self.logits)
+            return (f"FSM [17] {bsl}b BSL", cost["area_um2"], cost["delay_ns"], cost["adp"], mae)
         if config["kind"] == "ours":
             by = int(config["by"])
             circuit_config = SoftmaxCircuitConfig(
@@ -247,10 +248,10 @@ class Table4Task(SweepTask):
                 s1=self.s1,
                 s2=self.s2,
             )
-            circuit = IterativeSoftmaxCircuit(circuit_config)
-            report = synthesize(circuit.build_hardware())
-            mae = circuit.mean_absolute_error(self.logits)
-            return (f"Ours By={by}", report.area_um2, report.delay_ns, report.adp, mae)
+            block = build("softmax/iterative", spec=circuit_config)
+            cost = block.hardware_summary()
+            mae = block.mean_absolute_error(self.logits)
+            return (f"Ours By={by}", cost["area_um2"], cost["delay_ns"], cost["adp"], mae)
         raise ValueError(f"unknown Table IV config kind: {config['kind']!r}")
 
     def decode(self, payload: Sequence[Any], arrays: Optional[dict] = None) -> Tuple[str, float, float, float, float]:

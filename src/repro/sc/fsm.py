@@ -166,6 +166,14 @@ class FsmNonlinearUnit:
         ``input_scale`` maps real values into the bipolar range: the encoded
         stream represents ``value / input_scale`` and the decoded output is
         multiplied back, mirroring how scaling factors bracket an SC unit.
+
+        .. deprecated::
+           The per-call ``bitstream_length``/``seed``/``input_scale``
+           arguments are the historical signature drift between block
+           families.  New code should build the unit through the block
+           registry — ``repro.blocks.build("gelu/fsm", bitstream_length=L,
+           seed=s, input_scale=a)`` — where those parameters live in the
+           spec and ``evaluate(values)`` is uniform across families.
         """
         check_positive_int(bitstream_length, "bitstream_length")
         values = np.asarray(values, dtype=float)

@@ -1,0 +1,28 @@
+"""Tier-1 wrapper of the API-surface guard (tools/check_api_surface.py).
+
+CI also runs the script standalone; having it in the suite means an
+accidental export removal or a registry-entry breakage fails the ordinary
+dev loop, not just the dedicated job.  If a surface change is intentional,
+refresh the snapshot:  ``make api-snapshot``.
+"""
+
+import sys
+from pathlib import Path
+
+TOOLS_DIR = Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS_DIR))
+
+import check_api_surface  # noqa: E402
+
+
+class TestApiSurfaceGuard:
+    def test_registry_entries_build_and_round_trip(self):
+        assert check_api_surface.check_registry() == []
+
+    def test_export_list_matches_snapshot(self):
+        assert check_api_surface.check_surface(update=False) == []
+
+    def test_snapshot_is_sorted_and_nonempty(self):
+        lines = check_api_surface.SNAPSHOT.read_text().splitlines()
+        assert lines == sorted(lines)
+        assert any(line == "repro.blocks:build" for line in lines)

@@ -1,0 +1,170 @@
+"""Declarative experiment files and the ``repro run`` / ``repro blocks`` CLI."""
+
+import json
+
+import pytest
+
+from repro.blocks.experiment import ExperimentSpec
+from repro.cli import build_parser, main
+
+
+class TestExperimentSpec:
+    def test_roundtrip(self):
+        spec = ExperimentSpec(
+            task="dse",
+            name="smoke",
+            description="tiny grid",
+            params={"grid": "tiny", "rows": 16},
+            runner={"workers": 2},
+        )
+        again = ExperimentSpec.from_json(spec.to_json())
+        assert again == spec
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment task"):
+            ExperimentSpec(task="train-gpt")
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment keys"):
+            ExperimentSpec.from_dict({"task": "dse", "grid": "tiny"})
+
+    def test_params_runner_overlap_rejected(self):
+        with pytest.raises(ValueError, match="both params and runner"):
+            ExperimentSpec(task="dse", params={"workers": 1}, runner={"workers": 2})
+
+    def test_to_argv_formatting(self):
+        spec = ExperimentSpec(
+            task="eval",
+            params={
+                "by_grid": [4, 8],
+                "max_images": 32,
+                "verify_batched": True,
+                "gelu_bsl": None,
+                "quiet": False,
+            },
+            runner={"workers": 2},
+        )
+        argv = spec.to_argv()
+        assert argv[0] == "eval"
+        assert argv[argv.index("--by-grid"):][:3] == ["--by-grid", "4", "8"]
+        assert "--verify-batched" in argv  # True -> bare flag
+        assert "--gelu-bsl" not in argv  # None -> omitted
+        assert "--quiet" not in argv  # False -> omitted
+        assert argv[argv.index("--workers") + 1] == "2"
+
+    def test_overrides_replace_runner_options(self):
+        spec = ExperimentSpec(task="dse", runner={"workers": 2, "cache_dir": "a"})
+        argv = spec.to_argv({"workers": 8})
+        assert argv[argv.index("--workers") + 1] == "8"
+        assert argv[argv.index("--cache-dir") + 1] == "a"
+
+    def test_validate_options_catches_typos(self):
+        parser = build_parser()
+        good = ExperimentSpec(task="dse", params={"max_designs": 8})
+        good.validate_options(parser)
+        bad = ExperimentSpec(task="dse", params={"max_desings": 8})
+        with pytest.raises(ValueError, match="max_desings"):
+            bad.validate_options(parser)
+
+    def test_example_specs_are_valid(self):
+        from pathlib import Path
+
+        specs_dir = Path(__file__).resolve().parent.parent / "examples" / "specs"
+        paths = sorted(specs_dir.glob("*.json"))
+        assert paths, "examples/specs/ should ship experiment files"
+        parser = build_parser()
+        for path in paths:
+            spec = ExperimentSpec.from_file(path)
+            spec.validate_options(parser)
+            # The synthesized argv parses cleanly against the real CLI.
+            parser.parse_args(spec.to_argv())
+
+
+@pytest.mark.slow
+class TestRunSubcommand:
+    def test_run_reproduces_the_direct_cli_through_the_cache(self, tmp_path, monkeypatch, capsys):
+        """Acceptance loop: spec run == direct CLI run, byte-identical via cache."""
+        monkeypatch.chdir(tmp_path)
+        spec_path = tmp_path / "dse_tiny.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "name": "dse-tiny",
+                    "task": "dse",
+                    "params": {"grid": "tiny", "max_designs": 8, "rows": 8, "bx": [4]},
+                    "runner": {"workers": 1, "cache_dir": str(tmp_path / "cache"), "quiet": True},
+                }
+            )
+        )
+        assert main(["run", str(spec_path), "--out", str(tmp_path / "cold.json")]) == 0
+        assert main(["run", str(spec_path), "--out", str(tmp_path / "warm.json")]) == 0
+        cold = json.loads((tmp_path / "cold.json").read_text())
+        warm = json.loads((tmp_path / "warm.json").read_text())
+        space = warm["spaces"]["4"]
+        assert space["evaluated"] == 0, "warm spec run must be served from cache"
+        assert space["cache_hits"] == space["explored"]
+        assert cold["spaces"]["4"]["pareto"] == space["pareto"]
+
+        # The hand-typed equivalent shares the same cache entries.
+        direct = [
+            "dse", "--grid", "tiny", "--max-designs", "8", "--rows", "8", "--bx", "4",
+            "--workers", "1", "--cache-dir", str(tmp_path / "cache"), "--quiet",
+            "--out", str(tmp_path / "direct.json"),
+        ]
+        assert main(direct) == 0
+        direct_payload = json.loads((tmp_path / "direct.json").read_text())
+        assert direct_payload["spaces"]["4"]["evaluated"] == 0
+        assert direct_payload["spaces"]["4"]["pareto"] == space["pareto"]
+
+    def test_run_rejects_bad_spec_before_executing_anything(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"task": "dse", "params": {"max_desings": 1}}))
+        with pytest.raises(SystemExit, match="max_desings"):
+            main(["run", str(bad)])
+
+    def test_run_missing_file_is_a_clean_cli_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="missing.json"):
+            main(["run", str(tmp_path / "missing.json")])
+
+    def test_run_refuses_out_override_with_multiple_specs(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        for path in (a, b):
+            path.write_text(json.dumps({"task": "dse", "params": {"grid": "tiny"}}))
+        with pytest.raises(SystemExit, match="runner.out"):
+            main(["run", str(a), str(b), "--out", str(tmp_path / "clobbered.json")])
+
+
+class TestBlocksSubcommand:
+    def test_table1_matches_registry(self, tmp_path, capsys):
+        out = tmp_path / "table1.json"
+        assert main(["blocks", "--table1", "--out", str(out)]) == 0
+        rows = json.loads(out.read_text())["rows"]
+        import repro.blocks as blocks
+
+        expected = [
+            [
+                r.design,
+                r.supported_model,
+                r.encoding_format,
+                ", ".join(r.supported_functions),
+                r.implementation_method,
+            ]
+            for r in blocks.capability_matrix()
+        ]
+        assert rows == expected
+
+    def test_catalog_lists_every_family(self, tmp_path, capsys):
+        out = tmp_path / "catalog.json"
+        assert main(["blocks", "--no-hardware", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        import repro.blocks as blocks
+
+        assert sorted(payload["blocks"]) == blocks.names()
+        si = payload["blocks"]["gelu/si"]
+        assert si["input_encoding"] == "thermometer"
+        assert si["parameters"]["output_length"] == 8
+        assert si["default_spec"]["family"] == "gelu/si"
+        # --no-hardware must keep the file strict-JSON (null, never NaN).
+        assert si["hardware"] is None
+        assert "NaN" not in out.read_text()

@@ -3,7 +3,7 @@
 PYTEST = PYTHONPATH=src python -m pytest
 REPRO = PYTHONPATH=src python -m repro
 
-.PHONY: test test-fast test-cov bench bench-check lint smoke eval-smoke api-check api-snapshot
+.PHONY: test test-fast test-cov bench bench-check bench-serve serve-smoke lint smoke eval-smoke api-check api-snapshot
 
 ## Tier-1 verification: the full suite, fail-fast.
 test:
@@ -26,6 +26,16 @@ bench:
 ## below the floors recorded in the JSON baseline (the CI perf job).
 bench-check:
 	$(REPRO) bench --check-floor
+
+## Serve load generator (writes benchmarks/results/BENCH_serve.json) and
+## its floor gate: sustained throughput >= 50 img/s + p99 ceilings.
+bench-serve:
+	$(REPRO) bench --suite serve --check-floor
+
+## Serve acceptance gate: 64 concurrent requests bit-identical to offline
+## eval (fault-free and under fault injection) + warm pass 100% cache hits.
+serve-smoke:
+	PYTHONPATH=src python benchmarks/bench_serve_latency.py --smoke
 
 ## Lint (ruff config lives in pyproject.toml).  Falls back to a syntax
 ## check when ruff is not installed locally; CI always installs ruff.

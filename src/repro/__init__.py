@@ -24,7 +24,10 @@ The package mirrors the structure of the paper (DATE 2024):
 * :mod:`repro.eval_pipeline` — the batched end-to-end SC-ViT evaluation
   subsystem: streaming whole-split evaluation with chunk-invariant
   numerics, packed-bitplane fault injection and the ``EvalTask`` sweep
-  registration (``python -m repro eval``).
+  registration (``python -m repro eval``),
+* :mod:`repro.serve` — the async dynamic-batching inference service:
+  bounded request queue, micro-batcher, worker-pool engine, per-request
+  result cache and stdio/HTTP transports (``python -m repro serve``).
 
 See ``DESIGN.md`` for the system inventory and the per-experiment index, and
 ``EXPERIMENTS.md`` for measured-vs-paper results.
@@ -42,6 +45,7 @@ __all__ = [
     "evaluation",
     "eval_pipeline",
     "runner",
+    "serve",
     "utils",
     "__version__",
 ]

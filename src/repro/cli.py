@@ -10,6 +10,9 @@ against the serial path (``--workers 1``):
 * ``tables``     — the table benches (currently Table IV),
 * ``eval``       — batched end-to-end SC-ViT dataset evaluation (accuracy vs
   BSL / fault-rate grids through :mod:`repro.eval_pipeline`),
+* ``serve``      — the async dynamic-batching inference service
+  (:mod:`repro.serve`): JSON-lines-on-stdio or localhost-HTTP transports
+  over a micro-batching, result-cached SC-ViT engine,
 * ``run``        — execute declarative experiment files
   (:class:`repro.blocks.ExperimentSpec` JSON; see ``examples/specs/``),
 * ``blocks``     — list the registered circuit-block families
@@ -17,7 +20,8 @@ against the serial path (``--workers 1``):
   cost, or regenerate the Table I capability matrix,
 * ``bench``      — the packed-engine perf regression harness (+ floor check),
 * ``verify``     — self-checks: parallel == serial, cache round-trip,
-  batched eval == per-image eval.
+  batched eval == per-image eval, served == offline (the batcher
+  invariant).
 
 Test vectors default to the same sizes/seeds the ``benchmarks/`` scripts
 use, so CLI runs and bench runs share cache entries.
@@ -293,12 +297,13 @@ def cmd_eval(args: argparse.Namespace) -> int:
         splits=args.splits,
         fault_seed=args.fault_seed,
     )
+    reporter = _make_reporter(args, "eval")
     results = run_eval_grid(
         task,
         configs,
         workers=args.workers,
         cache=_make_cache(args),
-        reporter=_make_reporter(args, "eval"),
+        reporter=reporter,
     )
     stats = run_eval_grid.last_run_stats
 
@@ -318,6 +323,16 @@ def cmd_eval(args: argparse.Namespace) -> int:
     _print_table("eval accuracy grid", headers, rows)
     print(f"[{stats.summary()}]")
     print(f"re-evaluations: {stats.evaluated} ({stats.cache_hits} served from cache)")
+    # Wall-clock throughput over the whole grid, from the reporter's timer
+    # (the same span the progress line covered).  Cache hits count images
+    # too: serving a split from cache is the throughput the user got.
+    total_images = sum(result.num_images for result in results)
+    elapsed = reporter.elapsed_seconds
+    throughput = total_images / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"throughput: {throughput:.1f} images/s "
+        f"({total_images} images across {stats.total} configs in {elapsed:.2f}s wall-clock)"
+    )
 
     exit_code = 0
     if args.verify_batched:
@@ -343,6 +358,9 @@ def cmd_eval(args: argparse.Namespace) -> int:
                 "cache_hits": stats.cache_hits,
                 "workers": stats.workers,
                 "seconds": stats.seconds,
+                "total_images": total_images,
+                "wall_seconds": elapsed,
+                "throughput_img_per_s": None if elapsed <= 0 else throughput,
             },
         },
     )
@@ -431,6 +449,108 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# serve — the async dynamic-batching inference service
+# ---------------------------------------------------------------------------
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.blocks.specs import SoftmaxCircuitConfig, calibrate_alpha_y
+    from repro.evaluation.vectors import collect_softmax_inputs
+    from repro.serve import InferenceService, PredictionCache, build_engine
+    from repro.serve.transport import serve_http, serve_stdio
+    from repro.training.datasets import synthetic_cifar10, synthetic_cifar100
+
+    def log(message: str) -> None:
+        # stdout belongs to the JSON-lines transport; operator chatter must
+        # never interleave with protocol responses.
+        print(message, file=sys.stderr)
+
+    dataset_fn = {"cifar10": synthetic_cifar10, "cifar100": synthetic_cifar100}[args.dataset]
+    num_classes = {"cifar10": 10, "cifar100": 100}[args.dataset]
+    train, _ = dataset_fn(train_size=args.train_size, test_size=1, seed=args.data_seed)
+    model = _build_eval_model(args, num_classes)
+    softmax = SoftmaxCircuitConfig(
+        m=64,
+        iterations=args.k,
+        bx=4,
+        alpha_x=2.0,
+        by=args.by,
+        alpha_y=calibrate_alpha_y(args.by, 64),
+        s1=args.s1,
+        s2=args.s2,
+    )
+    calibration = collect_softmax_inputs(
+        model, train.images[: args.calibration_images], max_rows=512
+    )
+    engine = build_engine(
+        model,
+        softmax,
+        gelu_output_bsl=args.gelu_bsl,
+        flip_prob=args.flip_prob,
+        fault_seed=args.fault_seed,
+        calibration_logits=calibration,
+        workers=args.serve_workers,
+    )
+    cache = None
+    if not args.no_cache:
+        from repro.runner.cache import ResultCache
+
+        cache = PredictionCache(backing=ResultCache(args.cache_dir))
+    service = InferenceService(
+        engine,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue,
+        request_timeout_s=args.timeout_s,
+        cache=cache,
+    )
+
+    async def run() -> None:
+        async with service:
+            log(
+                f"serving {args.dataset} model (flip_prob={args.flip_prob}) — "
+                f"max_batch={args.max_batch}, max_wait_ms={args.max_wait_ms}, "
+                f"queue={args.max_queue}, workers={args.serve_workers}, "
+                f"cache={'off' if cache is None else args.cache_dir}"
+            )
+            if args.transport == "http":
+                server = await serve_http(service, args.host, args.port)
+                address = server.sockets[0].getsockname()
+                log(
+                    f"HTTP on http://{address[0]}:{address[1]} "
+                    "(POST /predict, GET /stats, GET /healthz; Ctrl-C stops)"
+                )
+                try:
+                    await server.serve_forever()
+                except asyncio.CancelledError:
+                    # Ctrl-C cancels this task; absorb it here so shutdown
+                    # continues to the final stats summary below and the
+                    # service drains cleanly on the way out.
+                    pass
+                finally:
+                    server.close()
+                    await server.wait_closed()
+            else:
+                log("JSON-lines on stdio (one request object per line; EOF stops)")
+                await serve_stdio(service)
+            snapshot = service.stats_snapshot()
+            log(
+                f"served {snapshot['requests']['completed']} requests, "
+                f"{snapshot['cache']['hits']} cache hits, "
+                f"{snapshot['batching']['batches']} batches "
+                f"(mean size {snapshot['batching']['mean_batch_size']:.1f})"
+            )
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        log("interrupted; shutting down")
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # blocks — the circuit-block registry catalog
 # ---------------------------------------------------------------------------
 
@@ -511,7 +631,7 @@ def cmd_blocks(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 
 
-def _find_benchmarks_dir(explicit: Optional[Path]) -> Path:
+def _find_benchmarks_dir(explicit: Optional[Path], required: str = "bench_perf_sc_engine.py") -> Path:
     candidates = []
     if explicit is not None:
         candidates.append(explicit)
@@ -520,16 +640,14 @@ def _find_benchmarks_dir(explicit: Optional[Path]) -> Path:
 
     candidates.append(Path(repro.__file__).resolve().parents[2] / "benchmarks")
     for candidate in candidates:
-        if (candidate / "bench_perf_sc_engine.py").exists():
+        if (candidate / required).exists():
             return candidate
-    raise SystemExit(
-        "cannot locate benchmarks/bench_perf_sc_engine.py; pass --benchmarks-dir"
-    )
+    raise SystemExit(f"cannot locate benchmarks/{required}; pass --benchmarks-dir")
 
 
-def _load_perf_harness(benchmarks_dir: Path):
+def _load_bench_module(benchmarks_dir: Path, filename: str):
     spec = importlib.util.spec_from_file_location(
-        "bench_perf_sc_engine", benchmarks_dir / "bench_perf_sc_engine.py"
+        filename.rsplit(".", 1)[0], benchmarks_dir / filename
     )
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
@@ -537,8 +655,17 @@ def _load_perf_harness(benchmarks_dir: Path):
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
+    exit_code = 0
+    if args.suite in ("engine", "all"):
+        exit_code |= _bench_engine(args)
+    if args.suite in ("serve", "all"):
+        exit_code |= _bench_serve(args)
+    return exit_code
+
+
+def _bench_engine(args: argparse.Namespace) -> int:
     benchmarks_dir = _find_benchmarks_dir(args.benchmarks_dir)
-    harness = _load_perf_harness(benchmarks_dir)
+    harness = _load_bench_module(benchmarks_dir, "bench_perf_sc_engine.py")
     results_path = benchmarks_dir / "results" / "BENCH_sc_engine.json"
 
     if args.no_run:
@@ -590,7 +717,77 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _write_floor_job_summary(rows: Sequence[Sequence[str]], failures: Sequence[str]) -> None:
+def _lookup_metric(payload: dict, dotted: str) -> Optional[float]:
+    node: Any = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def _bench_serve(args: argparse.Namespace) -> int:
+    """Serve-latency harness: run (or check) the load generator + its floors.
+
+    Floor entries are ``{"min": x}`` and/or ``{"max": y}`` per dotted metric
+    path — throughput gates from below, tail latency from above.
+    """
+    benchmarks_dir = _find_benchmarks_dir(args.benchmarks_dir, required="bench_serve_latency.py")
+    results_path = benchmarks_dir / "results" / "BENCH_serve.json"
+
+    if args.no_run:
+        if not results_path.exists():
+            raise SystemExit(f"--no-run: no recorded results at {results_path}")
+        payload = json.loads(results_path.read_text())
+        print(f"checking recorded serve results at {results_path}")
+    else:
+        harness = _load_bench_module(benchmarks_dir, "bench_serve_latency.py")
+        payload = harness.run_benchmarks()
+        harness.print_report(payload)
+        saved = harness.save_report(payload)
+        print(f"\nsaved {saved}")
+
+    if not args.check_floor:
+        return 0
+
+    failures = []
+    summary_rows = []
+    for metric, bounds in sorted(payload.get("floors", {}).items()):
+        measured = _lookup_metric(payload, metric)
+        if measured is None:
+            failures.append(f"{metric}: no measurement recorded (bounds {bounds})")
+            summary_rows.append((metric, "n/a", str(bounds), "FAIL (missing)"))
+            continue
+        bound_text = ", ".join(f"{op} {value:g}" for op, value in sorted(bounds.items()))
+        ok = True
+        if "min" in bounds and measured < float(bounds["min"]):
+            ok = False
+        if "max" in bounds and measured > float(bounds["max"]):
+            ok = False
+        detail = f"{metric}: measured {measured:.2f} vs bounds ({bound_text})"
+        summary_rows.append((metric, f"{measured:.2f}", bound_text, "ok" if ok else "FAIL"))
+        if ok:
+            print(f"floor ok: {detail}")
+        else:
+            failures.append(detail)
+    _write_floor_job_summary(
+        [(name, measured, bounds, "", status) for name, measured, bounds, status in summary_rows],
+        failures,
+        title="Serve latency/throughput floors",
+    )
+    if failures:
+        for failure in failures:
+            print(f"SERVE PERF REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("serve floors: all pass")
+    return 0
+
+
+def _write_floor_job_summary(
+    rows: Sequence[Sequence[str]],
+    failures: Sequence[str],
+    title: str = "Packed-engine perf floors",
+) -> None:
     """Append a measured-vs-floor table to the GitHub Actions job summary.
 
     ``GITHUB_STEP_SUMMARY`` points at the job-summary file inside Actions and
@@ -608,7 +805,7 @@ def _write_floor_job_summary(rows: Sequence[Sequence[str]], failures: Sequence[s
         ["benchmark", "measured", "floor", "delta", "status"], rows
     )
     with open(summary_path, "a") as handle:
-        handle.write(f"### Packed-engine perf floors — {verdict}\n\n{table}\n\n")
+        handle.write(f"### {title} — {verdict}\n\n{table}\n\n")
 
 
 # ---------------------------------------------------------------------------
@@ -662,22 +859,23 @@ def cmd_verify(args: argparse.Namespace) -> int:
             failures.append("cached results differ from serial")
 
     failures.extend(_verify_eval_pipeline())
+    failures.extend(_verify_serve())
 
     for failure in failures:
         print(f"FAIL {failure}", file=sys.stderr)
     return 1 if failures else 0
 
 
-def _verify_eval_pipeline() -> List[str]:
-    """Self-checks of the batched eval pipeline on a tiny model/dataset."""
-    import numpy as np
+def _tiny_verify_fixture():
+    """The tiny model/dataset/softmax shared by the eval + serve self-checks.
 
+    One construction site so both verify sections (and their PASS lines)
+    measure the same configuration.
+    """
     from repro.core.softmax_circuit import SoftmaxCircuitConfig
-    from repro.eval_pipeline import ScViTEvalPipeline
     from repro.nn.vit import CompactVisionTransformer, ViTConfig
     from repro.training.datasets import SyntheticImageDataset
 
-    failures: List[str] = []
     config = ViTConfig(
         image_size=8, patch_size=4, num_classes=4, embed_dim=16, num_layers=2,
         num_heads=2, norm="bn", seed=3,
@@ -686,6 +884,17 @@ def _verify_eval_pipeline() -> List[str]:
     dataset = SyntheticImageDataset(num_classes=4, image_size=8, seed=5)
     train, test = dataset.splits(train_size=16, test_size=12)
     softmax = SoftmaxCircuitConfig(m=64, iterations=2, bx=4, alpha_x=1.0, by=8, alpha_y=0.03, s1=16, s2=4)
+    return model, train, test, softmax
+
+
+def _verify_eval_pipeline() -> List[str]:
+    """Self-checks of the batched eval pipeline on a tiny model/dataset."""
+    import numpy as np
+
+    from repro.eval_pipeline import ScViTEvalPipeline
+
+    failures: List[str] = []
+    model, train, test, softmax = _tiny_verify_fixture()
 
     for flip_prob in (0.0, 0.05):
         pipeline = ScViTEvalPipeline(
@@ -704,15 +913,83 @@ def _verify_eval_pipeline() -> List[str]:
     return failures
 
 
+def _verify_serve() -> List[str]:
+    """Self-checks of the serving subsystem: the batching invariant online.
+
+    Staggered concurrent submissions (so the dynamic batcher forms mixed
+    batch sizes) must reproduce offline per-image evaluation bit for bit,
+    fault-free and under fault injection; a second identical pass must be
+    served entirely from the prediction cache.
+    """
+    import asyncio
+
+    import numpy as np
+
+    from repro.eval_pipeline import ScViTEvalPipeline
+    from repro.evaluation.vectors import collect_softmax_inputs
+    from repro.serve import InferenceService, PredictionCache, build_engine
+
+    failures: List[str] = []
+    model, train, test, softmax = _tiny_verify_fixture()
+    calibration = collect_softmax_inputs(model, train.images[:4], max_rows=512)
+    num_images = int(test.images.shape[0])
+
+    for flip_prob in (0.0, 0.05):
+        pipeline = ScViTEvalPipeline(
+            model, softmax, gelu_output_bsl=4, flip_prob=flip_prob, fault_seed=11,
+            calibration_logits=calibration,
+        )
+        offline = pipeline.evaluate(test, batch_size=1)
+
+        async def session():
+            engine = build_engine(
+                model, softmax, gelu_output_bsl=4, flip_prob=flip_prob, fault_seed=11,
+                calibration_logits=calibration, workers=2,
+            )
+            service = InferenceService(engine, max_batch=5, max_wait_ms=4.0, cache=PredictionCache())
+            async with service:
+                async def one(i: int):
+                    await asyncio.sleep(0.001 * (i % 4))  # ragged arrivals
+                    return await service.submit(test.images[i], index=i)
+
+                cold = await asyncio.gather(*[one(i) for i in range(num_images)])
+                warm = await asyncio.gather(
+                    *[service.submit(test.images[i], index=i) for i in range(num_images)]
+                )
+                return cold, warm, service.stats_snapshot()
+
+        cold, warm, snapshot = asyncio.run(session())
+        served = np.array([r.prediction for r in cold], dtype=np.int64)
+        if np.array_equal(served, offline.predictions):
+            print(
+                f"PASS serve == offline per-image (flip_prob={flip_prob}, "
+                f"{num_images} requests, mean batch "
+                f"{snapshot['batching']['mean_batch_size']:.1f})"
+            )
+        else:
+            failures.append(f"served predictions differ from offline at flip_prob={flip_prob}")
+        if all(r.cached for r in warm):
+            print(f"PASS serve warm pass 100% cache hits (flip_prob={flip_prob})")
+        else:
+            misses = sum(1 for r in warm if not r.cached)
+            failures.append(f"serve warm pass had {misses} cache misses at flip_prob={flip_prob}")
+    return failures
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="reproduce the paper's artifacts through the sweep orchestrator",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -778,15 +1055,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--quiet", action="store_true", help="suppress progress output")
     p_run.set_defaults(func=cmd_run)
 
+    p_serve = sub.add_parser("serve", help="async dynamic-batching inference service")
+    p_serve.add_argument("--transport", choices=["stdio", "http"], default="stdio", help="JSON-lines on stdio or a localhost HTTP server")
+    p_serve.add_argument("--host", default="127.0.0.1", help="HTTP bind host")
+    p_serve.add_argument("--port", type=int, default=8765, help="HTTP bind port (0 = ephemeral)")
+    p_serve.add_argument("--dataset", choices=["cifar10", "cifar100"], default="cifar10", help="synthetic dataset supplying classes + calibration images")
+    p_serve.add_argument("--train-size", type=int, default=160, help="training split size (calibration source)")
+    p_serve.add_argument("--data-seed", type=int, default=0, help="dataset generator seed")
+    p_serve.add_argument("--layers", type=int, default=2, help="ViT depth")
+    p_serve.add_argument("--embed-dim", type=int, default=32, help="ViT embedding dim")
+    p_serve.add_argument("--heads", type=int, default=4, help="attention heads")
+    p_serve.add_argument("--model-seed", type=int, default=0, help="weight-init seed")
+    p_serve.add_argument("--checkpoint", type=Path, default=None, help="trained state-dict (.npz) to load")
+    p_serve.add_argument("--calibration-images", type=int, default=32, help="images for the alpha_x calibration")
+    p_serve.add_argument("--by", type=int, default=8, help="softmax output BSL")
+    p_serve.add_argument("--s1", type=int, default=32, help="softmax s1 sub-sample rate")
+    p_serve.add_argument("--s2", type=int, default=8, help="softmax s2 sub-sample rate")
+    p_serve.add_argument("--k", type=int, default=3, help="softmax iterations")
+    p_serve.add_argument("--gelu-bsl", type=int, default=None, help="route GELU through an SI block of this BSL")
+    p_serve.add_argument("--flip-prob", type=float, default=0.0, help="bit-flip fault rate (per-request seeds via the 'index' field)")
+    p_serve.add_argument("--fault-seed", type=int, default=0, help="fault-injection seed")
+    p_serve.add_argument("--max-batch", type=int, default=8, help="micro-batch flush threshold")
+    p_serve.add_argument("--max-wait-ms", type=float, default=2.0, help="micro-batch flush deadline after the first request")
+    p_serve.add_argument("--max-queue", type=int, default=256, help="bounded queue depth (backpressure)")
+    p_serve.add_argument("--timeout-s", type=float, default=30.0, help="per-request deadline")
+    p_serve.add_argument("--serve-workers", type=int, default=1, help="inference worker threads (each owns a model replica)")
+    p_serve.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR, help=f"prediction-cache directory (default: {DEFAULT_CACHE_DIR})")
+    p_serve.add_argument("--no-cache", action="store_true", help="disable the prediction cache")
+    p_serve.set_defaults(func=cmd_serve)
+
     p_blocks = sub.add_parser("blocks", help="list the registered circuit-block families")
     p_blocks.add_argument("--table1", action="store_true", help="print the Table I capability matrix instead")
     p_blocks.add_argument("--no-hardware", action="store_true", help="skip the hardware-cost synthesis column")
     p_blocks.add_argument("--out", type=Path, default=None, help="write the catalog as JSON to this path")
     p_blocks.set_defaults(func=cmd_blocks)
 
-    p_bench = sub.add_parser("bench", help="packed-engine perf regression harness")
+    p_bench = sub.add_parser("bench", help="perf regression harnesses (packed engine, serving)")
+    p_bench.add_argument("--suite", choices=["engine", "serve", "all"], default="engine", help="which harness: the packed-engine microbenches, the serve load generator, or both")
     p_bench.add_argument("--benchmarks-dir", type=Path, default=None, help="path to benchmarks/")
-    p_bench.add_argument("--check-floor", action="store_true", help="fail if speedups fall below the recorded floors")
+    p_bench.add_argument("--check-floor", action="store_true", help="fail if measurements fall outside the recorded floors")
     p_bench.add_argument("--no-run", action="store_true", help="check the recorded results instead of re-running")
     p_bench.set_defaults(func=cmd_bench)
 

@@ -224,6 +224,35 @@ class ScViTEvalPipeline:
                 predictions = np.argmax(logits.data, axis=-1)
                 yield EvalBatch(indices=indices, predictions=predictions, labels=labels[start:stop])
 
+    def predict_batch(
+        self, images: np.ndarray, image_indices: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Predicted classes for one batch of images addressed by global index.
+
+        The serving entry point (:mod:`repro.serve`): predictions are a pure
+        function of ``(weights, image, config, fault seed, image index)`` —
+        never of which other images share the batch — because forwards run
+        under :func:`~repro.nn.autograd.batch_invariant_matmul` and fault
+        masks are seeded per image index.  Coalescing any subset of requests
+        into one micro-batch therefore reproduces the per-image results bit
+        for bit.  ``image_indices`` defaults to ``0..B-1`` (the offline
+        split order); it only matters when fault injection is enabled.
+        """
+        images = np.asarray(images)
+        if image_indices is None:
+            indices = np.arange(images.shape[0])
+        else:
+            indices = np.asarray(image_indices, dtype=np.int64)
+            if indices.shape != (images.shape[0],):
+                raise ValueError(
+                    f"image_indices has shape {indices.shape}, expected ({images.shape[0]},)"
+                )
+        with self._patched_model() as model, no_grad(), batch_invariant_matmul():
+            if self.fault_model is not None:
+                self.fault_model.begin_batch(indices)
+            logits = model(Tensor(images))
+            return np.argmax(logits.data, axis=-1).astype(np.int64)
+
     def evaluate(
         self,
         split: DatasetSplit,

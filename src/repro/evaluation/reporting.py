@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Iterable, List, Mapping, Optional, Sequence, TextIO, Union
 
@@ -96,6 +97,12 @@ class ProgressReporter:
     the line rewrites in place (carriage return); on a pipe/CI log it prints
     a line roughly every 10% so logs stay readable.  ``quiet=True`` turns
     the reporter into a no-op sink, which keeps call-sites branch-free.
+
+    The reporter also keeps wall-clock time: ``start`` arms a monotonic
+    timer, ``finish`` freezes it, and :attr:`elapsed_seconds` reads it at
+    any point in between — callers reuse this for throughput summaries
+    (e.g. the images/s line of ``python -m repro eval``) instead of timing
+    the same span twice.
     """
 
     def __init__(self, label: str, stream: Optional[TextIO] = None, quiet: bool = False) -> None:
@@ -104,6 +111,8 @@ class ProgressReporter:
         self.quiet = quiet
         self._is_tty = bool(getattr(self.stream, "isatty", lambda: False)())
         self._last_decile = -1
+        self._started_at: Optional[float] = None
+        self._finished_at: Optional[float] = None
 
     def _emit(self, text: str, final: bool = False) -> None:
         if self.quiet:
@@ -115,8 +124,18 @@ class ProgressReporter:
             self.stream.write(text + "\n")
         self.stream.flush()
 
+    @property
+    def elapsed_seconds(self) -> float:
+        """Wall-clock seconds since ``start`` (frozen at ``finish``; 0 before)."""
+        if self._started_at is None:
+            return 0.0
+        end = self._finished_at if self._finished_at is not None else time.monotonic()
+        return max(0.0, end - self._started_at)
+
     def start(self, total: int) -> None:
         self._last_decile = -1
+        self._started_at = time.monotonic()
+        self._finished_at = None
         self._emit(f"{self.label}: 0/{total}")
 
     def update(self, done: int, total: int, cached: int = 0) -> None:
@@ -130,5 +149,7 @@ class ProgressReporter:
             self._emit(f"{self.label}: {done}/{total}{suffix}")
 
     def finish(self, summary: str = "") -> None:
+        if self._started_at is not None and self._finished_at is None:
+            self._finished_at = time.monotonic()
         text = f"{self.label}: done" + (f" — {summary}" if summary else "")
         self._emit(text, final=True)

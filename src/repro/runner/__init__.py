@@ -21,6 +21,7 @@ from repro.runner.cache import (
     CachedResult,
     ResultCache,
     array_digest,
+    cache_key,
     canonical_json,
     code_fingerprint,
     default_code_version,
@@ -31,6 +32,7 @@ __all__ = [
     "CachedResult",
     "ResultCache",
     "array_digest",
+    "cache_key",
     "canonical_json",
     "code_fingerprint",
     "default_code_version",

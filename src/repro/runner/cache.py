@@ -39,6 +39,7 @@ __all__ = [
     "CachedResult",
     "ResultCache",
     "array_digest",
+    "cache_key",
     "canonical_json",
     "code_fingerprint",
     "default_code_version",
@@ -110,6 +111,25 @@ def code_fingerprint(*modules: ModuleType) -> str:
     return h.hexdigest()[:16]
 
 
+def cache_key(task_name: str, config_key: Any, version: str = "", code_version: str = "") -> str:
+    """SHA-256 digest of one ``(task, config, version, code)`` identity.
+
+    The content-addressing scheme shared by every cache in the repo:
+    :class:`ResultCache` keys sweep results with it, and
+    :mod:`repro.serve` keys per-request predictions with it, so "same
+    inputs, same code" means "same digest" everywhere.
+    """
+    material = canonical_json(
+        {
+            "task": task_name,
+            "config": config_key,
+            "version": version,
+            "code": code_version,
+        }
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
 def default_code_version() -> str:
     """Fingerprint of the whole ``repro`` package (conservative: any change
     to the library invalidates the cache, which is always safe)."""
@@ -146,15 +166,7 @@ class ResultCache:
     # ------------------------------------------------------------------ keys
     def key(self, task_name: str, config_key: Any, version: str = "") -> str:
         """SHA-256 digest addressing one (task, config) result."""
-        material = canonical_json(
-            {
-                "task": task_name,
-                "config": config_key,
-                "version": version,
-                "code": self.code_version,
-            }
-        )
-        return hashlib.sha256(material.encode()).hexdigest()
+        return cache_key(task_name, config_key, version, self.code_version)
 
     def _json_path(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}.json"

@@ -73,7 +73,10 @@ class NaiveSelectiveInterconnect:
         x = self.input_scale * (counts - self.input_length / 2.0)
         y = np.asarray(self.target(x), dtype=float)
         levels = np.round(y / self.output_scale).astype(np.int64)
-        levels = np.clip(levels, -self.output_length // 2, self.output_length // 2)
+        # Clip symmetrically to ±(L // 2): for odd L, ``-L // 2`` floors to
+        # -(L + 1) // 2 and the later +L // 2 shift would leave a -1 count
+        # (same convention as GateAssistedSIBlock._quantize_levels).
+        levels = np.clip(levels, -(self.output_length // 2), self.output_length // 2)
         monotone = monotone_envelope(levels)
         return (monotone + self.output_length // 2).astype(np.int64)
 

@@ -1,0 +1,61 @@
+"""Async dynamic-batching inference service for the SC-ViT reproduction.
+
+The serving subsystem turns the offline evaluation stack into an online
+service without giving up a single bit of its accuracy guarantees: PR 3's
+batch-invariant numerics plus per-image fault seeding mean concurrent
+requests can be coalesced into opportunistic micro-batches whose results
+are bit-identical to evaluating each image alone.
+
+* :mod:`repro.serve.service` — :class:`InferenceService`: bounded request
+  queue with explicit backpressure, request coalescing, per-request
+  timeouts, stats snapshot.
+* :mod:`repro.serve.batcher` — :class:`DynamicBatcher`: flush on
+  ``max_batch`` or ``max_wait_ms``, whichever first; batch size adapts to
+  load.
+* :mod:`repro.serve.engine` — :class:`PipelineEngine`: thread worker pool
+  running :class:`~repro.eval_pipeline.ScViTEvalPipeline` forwards on
+  per-worker model replicas (circuits built via :mod:`repro.blocks`).
+* :mod:`repro.serve.cache` — :class:`PredictionCache`: idempotent
+  per-request result reuse, content-addressed with the sweep cache's
+  fingerprint scheme (:func:`repro.runner.cache.cache_key`).
+* :mod:`repro.serve.stats` — :class:`ServiceStats`: throughput, p50/p95/p99
+  latency, batch-size histogram, cache hit rate.
+* :mod:`repro.serve.transport` — stdio/TCP JSON-lines and localhost-HTTP
+  front ends over one shared protocol handler.
+
+Entry points: ``python -m repro serve`` (CLI),
+``benchmarks/bench_serve_latency.py`` (closed-/open-loop load generator ->
+``BENCH_serve.json``) and the ``serve`` section of ``python -m repro
+verify``.  See ``docs/serving.md``.
+"""
+
+from repro.serve.batcher import DynamicBatcher
+from repro.serve.cache import PredictionCache, request_fingerprint
+from repro.serve.engine import PipelineEngine, build_engine, pipeline_fingerprint
+from repro.serve.service import (
+    InferenceService,
+    PredictionResult,
+    RequestTimeout,
+    ServiceClosed,
+    ServiceOverloaded,
+)
+from repro.serve.stats import ServiceStats
+from repro.serve.transport import handle_message, serve_http, serve_stdio
+
+__all__ = [
+    "DynamicBatcher",
+    "InferenceService",
+    "PipelineEngine",
+    "PredictionCache",
+    "PredictionResult",
+    "RequestTimeout",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "ServiceStats",
+    "build_engine",
+    "handle_message",
+    "pipeline_fingerprint",
+    "request_fingerprint",
+    "serve_http",
+    "serve_stdio",
+]

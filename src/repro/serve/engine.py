@@ -1,0 +1,173 @@
+"""Worker-pool inference engine: per-thread pipelines over shared weights.
+
+The service's compute layer.  Micro-batches are executed on a
+:class:`concurrent.futures.ThreadPoolExecutor`; every worker thread lazily
+builds its **own** :class:`~repro.eval_pipeline.ScViTEvalPipeline` (over a
+deep copy of the template model), because the pipeline patches circuit
+substitutions into the model's blocks for the duration of a forward — a
+shared model would race.  Weights are copied once per worker, not per
+batch, and all workers are bit-identical by construction: same weights,
+same circuit specs, same calibration logits.
+
+Numpy-autograd inference modes (``no_grad`` and ``batch_invariant_matmul``)
+are process-wide flags, so the engine holds both enabled from
+:meth:`start` to :meth:`close` instead of toggling them per forward —
+concurrent workers then cannot observe a half-restored mode.  While an
+engine is running, everything in the process computes under inference
+semantics; a serving process is assumed not to train concurrently.
+
+The engine also owns the *fingerprint* that versions every cached
+prediction: a digest of the model weights, the resolved circuit specs and
+the fault settings, in the same spirit as
+:meth:`repro.eval_pipeline.tasks.EvalTask.version`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import copy
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.eval_pipeline.pipeline import ScViTEvalPipeline
+from repro.nn.autograd import batch_invariant_matmul, no_grad
+from repro.runner.cache import array_digest, canonical_json
+
+__all__ = ["PipelineEngine", "build_engine", "pipeline_fingerprint"]
+
+
+def pipeline_fingerprint(pipeline: ScViTEvalPipeline) -> str:
+    """Version token for cached predictions of ``pipeline``.
+
+    Digests the weights, the resolved (post-calibration, post-clamp)
+    softmax config, the GELU routing and the fault settings — everything a
+    prediction depends on besides the image itself and its index.
+    """
+    state = pipeline.model.state_dict()
+    weights = array_digest(*(state[key] for key in sorted(state)))
+    from dataclasses import asdict
+
+    identity = {
+        "weights": weights,
+        "softmax": asdict(pipeline.softmax_circuit.config),
+        "gelu_bsl": pipeline.gelu_block.output_length if pipeline.gelu_block else None,
+        "flip_prob": pipeline.flip_prob,
+        "fault_seed": pipeline.fault_model.seed if pipeline.fault_model is not None else 0,
+    }
+    return array_digest(np.frombuffer(canonical_json(identity).encode(), dtype=np.uint8))
+
+
+class PipelineEngine:
+    """Thread pool executing micro-batches on per-worker pipeline replicas.
+
+    Parameters
+    ----------
+    pipeline_factory:
+        Zero-argument callable building one pipeline; called once per
+        worker thread.  Every pipeline it returns must be bit-identical
+        (:func:`build_engine` constructs such a factory from a template).
+    workers:
+        Worker-thread count.  1 (the default) serialises batches; more
+        overlap BLAS work across batches.
+    version:
+        Cache-version token; computed from a probe pipeline when omitted.
+    flip_prob:
+        The pipelines' fault-injection rate.  The service uses it to decide
+        whether per-request image indices are part of a request's cache
+        identity (they are exactly when faults are on).
+    image_shape:
+        Expected per-image shape; the service validates requests against it
+        before batching when set (a malformed image must fail its own
+        request, not the whole micro-batch it rides in).
+    """
+
+    def __init__(
+        self,
+        pipeline_factory: Callable[[], ScViTEvalPipeline],
+        workers: int = 1,
+        version: Optional[str] = None,
+        flip_prob: float = 0.0,
+        image_shape: Optional[tuple] = None,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self._factory = pipeline_factory
+        self.workers = int(workers)
+        self.flip_prob = float(flip_prob)
+        self.image_shape = None if image_shape is None else tuple(image_shape)
+        self._local = threading.local()
+        self.executor: Optional[ThreadPoolExecutor] = None
+        self._modes: Optional[contextlib.ExitStack] = None
+        if version is None:
+            probe = pipeline_factory()
+            version = pipeline_fingerprint(probe)
+            # The probe doubles as worker 0's replica if built on that thread
+            # later; cheaper to just drop it — workers build their own.
+            del probe
+        self.version = version
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        if self.executor is not None:
+            return
+        self._modes = contextlib.ExitStack()
+        self._modes.enter_context(no_grad())
+        self._modes.enter_context(batch_invariant_matmul())
+        self.executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+
+    def close(self) -> None:
+        if self.executor is not None:
+            self.executor.shutdown(wait=True)
+            self.executor = None
+        if self._modes is not None:
+            self._modes.close()
+            self._modes = None
+
+    # ------------------------------------------------------------- execution
+    def _pipeline(self) -> ScViTEvalPipeline:
+        pipeline = getattr(self._local, "pipeline", None)
+        if pipeline is None:
+            pipeline = self._factory()
+            self._local.pipeline = pipeline
+        return pipeline
+
+    def run(self, images: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Predict one micro-batch (called on a worker thread)."""
+        return self._pipeline().predict_batch(images, indices)
+
+
+def build_engine(
+    model: Any,
+    softmax_config: Any,
+    gelu_output_bsl: Optional[int] = None,
+    flip_prob: float = 0.0,
+    fault_seed: int = 0,
+    calibration_logits: Optional[np.ndarray] = None,
+    workers: int = 1,
+) -> PipelineEngine:
+    """Engine over ``model`` with the same substitution protocol as offline eval.
+
+    ``calibration_logits`` must be the logits offline evaluation calibrated
+    ``alpha_x`` on for served predictions to be bit-identical to
+    :meth:`ScViTEvalPipeline.evaluate` (collect them once with
+    :func:`repro.evaluation.vectors.collect_softmax_inputs`).
+    """
+
+    def factory() -> ScViTEvalPipeline:
+        return ScViTEvalPipeline(
+            copy.deepcopy(model),
+            softmax_config,
+            gelu_output_bsl=gelu_output_bsl,
+            flip_prob=flip_prob,
+            fault_seed=fault_seed,
+            calibration_logits=calibration_logits,
+        )
+
+    config = model.config
+    image_shape = (config.image_size, config.image_size, config.in_channels)
+    return PipelineEngine(factory, workers=workers, flip_prob=flip_prob, image_shape=image_shape)

@@ -1,0 +1,336 @@
+"""The asynchronous inference service: queue, batcher, workers, cache, stats.
+
+:class:`InferenceService` is the orchestration layer between transports and
+the compute engine.  One request's life:
+
+1. :meth:`submit` fingerprints the image (same content-addressing scheme as
+   the sweep cache) and returns instantly on a cache hit; an identical
+   request already *in flight* coalesces onto its future instead of being
+   computed twice.
+2. Otherwise the request enters the bounded queue.  A full queue rejects
+   immediately (:class:`ServiceOverloaded`) — backpressure is explicit, not
+   an unbounded latency cliff.
+3. The batch loop reserves a worker slot, lets the
+   :class:`~repro.serve.batcher.DynamicBatcher` coalesce up to ``max_batch``
+   requests (or ``max_wait_ms``), and dispatches the micro-batch to the
+   engine's thread pool.  Reserving the slot *before* collecting means
+   batches grow while all workers are busy — load adaptively increases
+   batch size instead of queue depth.
+4. Results fan back out to per-request futures, land in the cache, and the
+   submitter returns with latency accounting.  A request that outlives
+   ``request_timeout_s`` raises :class:`RequestTimeout`; its computation
+   still completes and warms the cache.
+
+Served predictions are bit-identical to offline per-image evaluation for
+*any* arrival pattern — the batching invariant inherited from
+:meth:`repro.eval_pipeline.ScViTEvalPipeline.predict_batch` — which
+``python -m repro verify`` and ``tests/test_serve.py`` enforce.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.serve.batcher import SHUTDOWN, DynamicBatcher
+from repro.serve.cache import PredictionCache, request_fingerprint
+from repro.serve.stats import ServiceStats
+
+__all__ = [
+    "InferenceService",
+    "PredictionResult",
+    "RequestTimeout",
+    "ServiceClosed",
+    "ServiceOverloaded",
+]
+
+
+class ServiceOverloaded(RuntimeError):
+    """The bounded request queue is full; retry later (HTTP 429)."""
+
+
+class RequestTimeout(TimeoutError):
+    """No result within ``request_timeout_s`` (HTTP 504)."""
+
+
+class ServiceClosed(RuntimeError):
+    """Submit called before start or after stop."""
+
+
+@dataclass
+class PredictionResult:
+    """One served prediction plus how it was produced."""
+
+    prediction: int
+    cached: bool
+    latency_ms: float
+    coalesced: bool = False
+    request_id: Optional[str] = None
+
+
+class _Pending:
+    """Internal queue entry: one request awaiting a micro-batch."""
+
+    __slots__ = ("image", "index", "key", "future", "arrived_at")
+
+    def __init__(self, image: np.ndarray, index: int, key: Optional[str], future: "asyncio.Future") -> None:
+        self.image = image
+        self.index = index
+        self.key = key
+        self.future = future
+        self.arrived_at = time.monotonic()
+
+
+class InferenceService:
+    """Async dynamic-batching front end over an inference engine.
+
+    Parameters
+    ----------
+    engine:
+        Compute backend (:class:`~repro.serve.engine.PipelineEngine` or
+        anything with ``start``/``close``/``run``/``executor``/``workers``
+        plus ``version``/``flip_prob``/``image_shape`` attributes).
+    max_batch / max_wait_ms:
+        Micro-batcher flush thresholds (see :mod:`repro.serve.batcher`).
+    max_queue:
+        Bounded queue depth; the backpressure knob.
+    request_timeout_s:
+        Per-request deadline covering queueing + batching + compute.
+    cache:
+        Optional :class:`~repro.serve.cache.PredictionCache`; ``None``
+        disables result reuse (every request computes).
+    code_version:
+        Source-fingerprint component of request keys; defaults to the
+        package fingerprint used by the sweep cache.
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        max_batch: int = 8,
+        max_wait_ms: float = 2.0,
+        max_queue: int = 256,
+        request_timeout_s: float = 30.0,
+        cache: Optional[PredictionCache] = None,
+        code_version: Optional[str] = None,
+    ) -> None:
+        if max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+        if request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be positive")
+        self.engine = engine
+        self.max_batch = int(max_batch)
+        self.max_wait_ms = float(max_wait_ms)
+        self.max_queue = int(max_queue)
+        self.request_timeout_s = float(request_timeout_s)
+        self.cache = cache
+        self._code_version = code_version
+        self.stats = ServiceStats()
+        self._queue: Optional[asyncio.Queue] = None
+        self._batcher: Optional[DynamicBatcher] = None
+        self._batch_loop_task: Optional[asyncio.Task] = None
+        self._worker_slots: Optional[asyncio.Semaphore] = None
+        self._inflight: Dict[str, "asyncio.Future"] = {}
+        self._batch_tasks: set = set()
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Start the engine and the batch loop; idempotent."""
+        if self._started:
+            return
+        if self._code_version is None:
+            from repro.runner.cache import default_code_version
+
+            self._code_version = default_code_version()
+        self.engine.start()
+        self._queue = asyncio.Queue(maxsize=self.max_queue)
+        self._batcher = DynamicBatcher(self._queue, self.max_batch, self.max_wait_ms)
+        self._worker_slots = asyncio.Semaphore(self.engine.workers)
+        self._batch_loop_task = asyncio.create_task(self._batch_loop())
+        self.stats.start()
+        self._started = True
+        self._closed = False
+
+    async def stop(self) -> None:
+        """Drain queued requests, finish in-flight batches, stop the engine."""
+        if not self._started or self._closed:
+            return
+        self._closed = True
+        await self._queue.put(SHUTDOWN)
+        await self._batch_loop_task
+        if self._batch_tasks:
+            await asyncio.gather(*list(self._batch_tasks), return_exceptions=True)
+        self.engine.close()
+        self._started = False
+
+    async def __aenter__(self) -> "InferenceService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ----------------------------------------------------------------- submit
+    async def submit(
+        self,
+        image: Any,
+        index: int = 0,
+        request_id: Optional[str] = None,
+    ) -> PredictionResult:
+        """Predict one image; returns when the result is available.
+
+        ``index`` is the request's global image index — the per-request
+        fault seed.  With fault injection enabled it selects the bit-flip
+        mask (submit the image's offline split index to reproduce offline
+        evaluation exactly); fault-free it is ignored by the compute path
+        and excluded from the cache identity.
+        """
+        if not self._started or self._closed:
+            raise ServiceClosed("service is not running")
+        arrived = time.monotonic()
+        # Validate before counting: `submitted` tracks requests accepted for
+        # processing, so every one reaches a terminal counter (completed /
+        # rejected / timeout / error) and the /stats ledger balances.
+        image = self._check_image(image)
+        index = int(index)
+        self.stats.record_submitted()
+
+        key: Optional[str] = None
+        coalesced = False
+        future: Optional[asyncio.Future] = None
+        if self.cache is not None:
+            faults_on = float(getattr(self.engine, "flip_prob", 0.0)) > 0.0
+            key = request_fingerprint(
+                image,
+                self.engine.version,
+                image_index=index if faults_on else None,
+                code_version=self._code_version or "",
+            )
+            hit = self.cache.get(key)
+            if hit is not None:
+                latency_ms = (time.monotonic() - arrived) * 1000.0
+                self.stats.record_completed(latency_ms, cached=True)
+                return PredictionResult(
+                    prediction=hit, cached=True, latency_ms=latency_ms, request_id=request_id
+                )
+            future = self._inflight.get(key)
+            coalesced = future is not None
+
+        if future is None:
+            future = asyncio.get_running_loop().create_future()
+            pending = _Pending(image, index, key, future)
+            if key is not None:
+                self._inflight[key] = future
+            try:
+                self._queue.put_nowait(pending)
+            except asyncio.QueueFull:
+                self._inflight.pop(key, None)
+                self.stats.record_rejected()
+                raise ServiceOverloaded(
+                    f"request queue full ({self.max_queue} pending); retry later"
+                ) from None
+
+        # shield: one waiter's timeout must not cancel the shared computation
+        # (coalesced waiters and the cache still want the result).
+        try:
+            prediction = await asyncio.wait_for(asyncio.shield(future), self.request_timeout_s)
+        except asyncio.TimeoutError:
+            self.stats.record_timeout()
+            raise RequestTimeout(
+                f"no result within {self.request_timeout_s:g}s "
+                f"(queue depth {self._queue.qsize()})"
+            ) from None
+        latency_ms = (time.monotonic() - arrived) * 1000.0
+        self.stats.record_completed(latency_ms, coalesced=coalesced)
+        return PredictionResult(
+            prediction=int(prediction),
+            cached=False,
+            coalesced=coalesced,
+            latency_ms=latency_ms,
+            request_id=request_id,
+        )
+
+    def _check_image(self, image: Any) -> np.ndarray:
+        image = np.asarray(image, dtype=float)
+        expected = getattr(self.engine, "image_shape", None)
+        if expected is not None and tuple(image.shape) != tuple(expected):
+            raise ValueError(f"image has shape {tuple(image.shape)}, expected {tuple(expected)}")
+        return image
+
+    # ------------------------------------------------------------ batch loop
+    async def _batch_loop(self) -> None:
+        while True:
+            # Reserve the worker slot first: while every worker is busy no
+            # request is pulled, so the queue accumulates and the next batch
+            # fills toward max_batch — batch size adapts to load.
+            await self._worker_slots.acquire()
+            batch = await self._batcher.next_batch()
+            if batch is None:
+                self._worker_slots.release()
+                return
+            task = asyncio.create_task(self._execute(batch))
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._on_batch_done)
+            if self._batcher.closed:
+                return
+
+    def _on_batch_done(self, task: "asyncio.Task") -> None:
+        self._batch_tasks.discard(task)
+        self._worker_slots.release()
+        if not task.cancelled() and task.exception() is not None:
+            # _execute routes failures into request futures; anything that
+            # still escapes is a bug worth surfacing, not swallowing.
+            raise task.exception()
+
+    async def _execute(self, batch) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            # Inside the try: with engines that declare no image_shape a
+            # ragged batch makes np.stack itself raise, and that failure must
+            # reach the request futures, not strand them until timeout.
+            images = np.stack([pending.image for pending in batch])
+            indices = np.asarray([pending.index for pending in batch], dtype=np.int64)
+            predictions = await loop.run_in_executor(
+                self.engine.executor, self.engine.run, images, indices
+            )
+        except Exception as exc:
+            for pending in batch:
+                if pending.key is not None:
+                    self._inflight.pop(pending.key, None)
+                self.stats.record_error()
+                if not pending.future.done():
+                    pending.future.set_exception(
+                        RuntimeError(f"inference batch failed: {exc!r}")
+                    )
+            return
+        self.stats.record_batch(len(batch))
+        for pending, prediction in zip(batch, predictions):
+            prediction = int(prediction)
+            if pending.key is not None:
+                self._inflight.pop(pending.key, None)
+                if self.cache is not None:
+                    self.cache.put(pending.key, prediction)
+            if not pending.future.done():
+                pending.future.set_result(prediction)
+
+    # ------------------------------------------------------------------ stats
+    def stats_snapshot(self) -> Dict:
+        """The ``/stats`` payload: counters, latency tail, batching, cache."""
+        queue_depth = self._queue.qsize() if self._queue is not None else 0
+        snapshot = self.stats.snapshot(queue_depth=queue_depth, in_flight=len(self._batch_tasks))
+        snapshot["config"] = {
+            "max_batch": self.max_batch,
+            "max_wait_ms": self.max_wait_ms,
+            "max_queue": self.max_queue,
+            "request_timeout_s": self.request_timeout_s,
+            "workers": self.engine.workers,
+            "cache_enabled": self.cache is not None,
+            "flip_prob": float(getattr(self.engine, "flip_prob", 0.0)),
+        }
+        return snapshot

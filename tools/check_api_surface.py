@@ -39,6 +39,7 @@ PUBLIC_MODULES = [
     "repro.evaluation",
     "repro.runner",
     "repro.eval_pipeline",
+    "repro.serve",
     "repro.utils",
 ]
 

@@ -663,6 +663,34 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _engine_floor_groups(payload: dict) -> list:
+    """``(backend, floors, rows_by_name, host)`` groups from any payload shape.
+
+    Handles the three layouts ``--check-floor`` can see: a merged schema-2
+    results file (one group per recorded backend), a fresh single-backend
+    schema-2 run, and a legacy schema-1 file (treated as the numpy backend).
+    """
+    if isinstance(payload.get("backends"), dict):
+        return [
+            (
+                name,
+                entry.get("floors") or {},
+                {row["name"]: row for row in entry.get("benchmarks", [])},
+                entry.get("host") or {},
+            )
+            for name, entry in sorted(payload["backends"].items())
+        ]
+    backend = payload.get("backend", "numpy")
+    return [
+        (
+            backend,
+            payload.get("floors") or {},
+            {row["name"]: row for row in payload.get("benchmarks", [])},
+            payload.get("host") or {},
+        )
+    ]
+
+
 def _bench_engine(args: argparse.Namespace) -> int:
     benchmarks_dir = _find_benchmarks_dir(args.benchmarks_dir)
     harness = _load_bench_module(benchmarks_dir, "bench_perf_sc_engine.py")
@@ -674,7 +702,18 @@ def _bench_engine(args: argparse.Namespace) -> int:
         payload = json.loads(results_path.read_text())
         print(f"checking recorded results at {results_path}")
     else:
-        payload = harness.run_benchmarks()
+        backend = getattr(args, "backend", None)
+        if backend is not None:
+            # Force the selection so the run measures the backend it claims
+            # to, overriding REPRO_SC_BACKEND and any spec-level contexts.
+            from repro.sc.backends import set_backend
+
+            previous = set_backend(backend, force=True)
+        try:
+            payload = harness.run_benchmarks()
+        finally:
+            if backend is not None:
+                set_backend(previous, force=True)
         harness._print_report(payload)
         saved = harness.save_report(payload)
         print(f"\nsaved {saved}")
@@ -682,30 +721,39 @@ def _bench_engine(args: argparse.Namespace) -> int:
     if not args.check_floor:
         return 0
 
-    floors = payload.get("floors") or harness.SPEEDUP_FLOORS
+    groups = _engine_floor_groups(payload)
     failures = []
     summary_rows = []
-    by_name = {row["name"]: row for row in payload["benchmarks"]}
-    for name, floor in floors.items():
-        row = by_name.get(name)
-        if row is None:
-            failures.append(f"{name}: no measurement recorded (floor {floor:.1f}x)")
-            summary_rows.append((name, "n/a", f"{floor:.1f}x", "n/a", "FAIL (missing)"))
-            continue
-        measured = float(row["speedup"])
-        delta = measured - floor
-        margin = 100.0 * delta / floor
-        detail = (
-            f"{name}: measured {measured:.1f}x vs floor {floor:.1f}x "
-            f"(delta {delta:+.1f}x, margin {margin:+.0f}%)"
-        )
-        status = "ok" if measured >= floor else "FAIL"
-        summary_rows.append((name, f"{measured:.1f}x", f"{floor:.1f}x", f"{delta:+.1f}x", status))
-        if measured < floor:
-            failures.append(detail)
-        else:
-            print(f"floor ok: {detail}")
-    _write_floor_job_summary(summary_rows, failures)
+    host_lines = []
+    for backend_name, floors, by_name, host in groups:
+        if host:
+            host_lines.append(
+                f"`{backend_name}`: {host.get('cpu_count')} cpus, "
+                f"numpy {host.get('numpy')}, numba {host.get('numba') or 'absent'}"
+            )
+        for name, floor in floors.items():
+            label = f"{backend_name}/{name}" if len(groups) > 1 else name
+            row = by_name.get(name)
+            if row is None:
+                failures.append(f"{label}: no measurement recorded (floor {floor:.1f}x)")
+                summary_rows.append((label, "n/a", f"{floor:.1f}x", "n/a", "FAIL (missing)"))
+                continue
+            measured = float(row["speedup"])
+            delta = measured - floor
+            margin = 100.0 * delta / floor
+            detail = (
+                f"{label}: measured {measured:.1f}x vs floor {floor:.1f}x "
+                f"(delta {delta:+.1f}x, margin {margin:+.0f}%)"
+            )
+            status = "ok" if measured >= floor else "FAIL"
+            summary_rows.append(
+                (label, f"{measured:.1f}x", f"{floor:.1f}x", f"{delta:+.1f}x", status)
+            )
+            if measured < floor:
+                failures.append(detail)
+            else:
+                print(f"floor ok: {detail}")
+    _write_floor_job_summary(summary_rows, failures, host_lines=host_lines)
     if failures:
         # Every regression line carries the measured-vs-floor numbers so a
         # red CI job shows the magnitude of the regression, not just that
@@ -787,11 +835,14 @@ def _write_floor_job_summary(
     rows: Sequence[Sequence[str]],
     failures: Sequence[str],
     title: str = "Packed-engine perf floors",
+    host_lines: Sequence[str] = (),
 ) -> None:
     """Append a measured-vs-floor table to the GitHub Actions job summary.
 
     ``GITHUB_STEP_SUMMARY`` points at the job-summary file inside Actions and
-    is unset elsewhere, so local runs skip this silently.
+    is unset elsewhere, so local runs skip this silently.  ``host_lines``
+    (one per measured backend: CPU count, numpy/numba versions) precede the
+    table so a tripped floor is attributable to the machine that ran it.
     """
     import os
 
@@ -805,7 +856,12 @@ def _write_floor_job_summary(
         ["benchmark", "measured", "floor", "delta", "status"], rows
     )
     with open(summary_path, "a") as handle:
-        handle.write(f"### {title} — {verdict}\n\n{table}\n\n")
+        handle.write(f"### {title} — {verdict}\n\n")
+        for line in host_lines:
+            handle.write(f"- {line}\n")
+        if host_lines:
+            handle.write("\n")
+        handle.write(f"{table}\n\n")
 
 
 # ---------------------------------------------------------------------------
@@ -1093,6 +1149,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser("bench", help="perf regression harnesses (packed engine, serving)")
     p_bench.add_argument("--suite", choices=["engine", "serve", "all"], default="engine", help="which harness: the packed-engine microbenches, the serve load generator, or both")
     p_bench.add_argument("--benchmarks-dir", type=Path, default=None, help="path to benchmarks/")
+    p_bench.add_argument("--backend", choices=["numpy", "threaded", "numba"], default=None, help="SC kernel backend to measure (engine suite); merged per backend into the results JSON")
     p_bench.add_argument("--check-floor", action="store_true", help="fail if measurements fall outside the recorded floors")
     p_bench.add_argument("--no-run", action="store_true", help="check the recorded results instead of re-running")
     p_bench.set_defaults(func=cmd_bench)

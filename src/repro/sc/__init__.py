@@ -15,7 +15,10 @@ This package provides everything below the ASCEND-specific blocks:
 * the three families of baseline nonlinear-function designs the paper
   compares against: FSM-based units, Bernstein-polynomial units and naive
   selective interconnect (:mod:`repro.sc.fsm`, :mod:`repro.sc.bernstein`,
-  :mod:`repro.sc.selective_interconnect`).
+  :mod:`repro.sc.selective_interconnect`),
+* pluggable kernel backends for the packed engine — ``numpy`` (default),
+  ``threaded`` and ``numba`` — selected process-wide or per spec with a
+  strict bit-identity contract (:mod:`repro.sc.backends`).
 
 Every functional block also knows how to describe itself structurally for
 the hardware cost model via a ``build_hardware()`` method.
@@ -34,6 +37,8 @@ from repro.sc.sng import LinearFeedbackShiftRegister, StochasticNumberGenerator
 from repro.sc.arithmetic import (
     bsn_add,
     divide_by_constant,
+    draw_select_planes,
+    fused_multiply_decode,
     negate,
     thermometer_add,
     thermometer_multiply,
@@ -66,6 +71,8 @@ __all__ = [
     "unipolar_multiply",
     "bipolar_multiply",
     "mux_scaled_add",
+    "draw_select_planes",
+    "fused_multiply_decode",
     "RescalingBlock",
     "align_scales",
     "rescale",

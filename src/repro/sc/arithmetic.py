@@ -22,13 +22,14 @@ larger blocks out of the same pieces the functional emulation uses.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.hw.netlist import ComponentInventory, HardwareModule
 from repro.sc.bitstream import StochasticStream, ThermometerStream
-from repro.sc.packed import PackedBitPlane
+from repro.sc.encodings import bipolar_decode, unipolar_decode
+from repro.sc.packed import PackedBitPlane, _kernels, tail_mask
 from repro.sc.sorting_network import BitonicSortingNetwork
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive_int
@@ -64,24 +65,77 @@ def mux_scaled_add(
     a: StochasticStream,
     b: StochasticStream,
     seed: SeedLike = None,
+    *,
+    select: Optional[PackedBitPlane] = None,
 ) -> StochasticStream:
     """Scaled addition ``(a + b) / 2`` with a MUX and a fair select stream.
 
     The select stream is drawn exactly as in the explicit-bit implementation
     (one Bernoulli draw per cycle, so seeded results are reproducible across
     versions); the MUX itself runs as three word-wise ops on the packed
-    planes.
+    planes.  Callers adding many pairs with the same shape should draw the
+    select planes once per batch with :func:`draw_select_planes` and pass
+    each via ``select=`` — bit-identical to per-call draws from the same
+    generator, but the RNG work is batched (and ``seed`` is then ignored).
     """
     if a.encoding != b.encoding:
         raise ValueError("streams must share an encoding")
     if a.length != b.length:
         raise ValueError("streams must have equal length")
+    if select is None:
+        rng = as_generator(seed)
+        # Same draw as the explicit-bit implementation (one integers(0, 2)
+        # per cycle) so seeded results stay reproducible across versions.
+        select = _kernels().select_plane(a.value_shape, a.length, rng)
+    else:
+        if select.length != a.length:
+            raise ValueError("select plane must match the operand length")
+        if select.value_shape != a.value_shape:
+            raise ValueError("select plane must match the operand value shape")
+    return StochasticStream(packed=select.mux(a.packed, b.packed), encoding=a.encoding)
+
+
+def draw_select_planes(
+    value_shape: Tuple[int, ...],
+    length: int,
+    count: int,
+    seed: SeedLike = None,
+) -> List[PackedBitPlane]:
+    """Draw ``count`` fair-coin select planes in one batched RNG pass.
+
+    Bit-identical to ``count`` sequential :func:`mux_scaled_add` draws from
+    the same generator (the batched ``integers`` call consumes the uniform
+    stream in the same C order), but generation is amortised across the
+    whole batch — one backend call instead of ``count``, which is where the
+    per-call overhead of `mux_scaled_add` lived.
+    """
+    check_positive_int(length, "length")
+    check_positive_int(count, "count")
     rng = as_generator(seed)
-    # Same draw call as the explicit-bit implementation so seeded results
-    # stay reproducible across versions.
-    select = rng.integers(0, 2, size=a.value_shape + (a.length,)).astype(np.uint8)
-    select_plane = PackedBitPlane.from_bits(select)
-    return StochasticStream(packed=select_plane.mux(a.packed, b.packed), encoding=a.encoding)
+    batched = _kernels().select_plane((count,) + tuple(value_shape), length, rng)
+    return [PackedBitPlane(batched.words[i], length) for i in range(count)]
+
+
+def fused_multiply_decode(a: StochasticStream, b: StochasticStream) -> np.ndarray:
+    """Multiply two streams and decode the product in one popcount pass.
+
+    Equivalent to ``unipolar_multiply(a, b).decode()`` (or the bipolar
+    pair) but never materialises the product plane: the backend gates and
+    popcounts word-by-word, which halves memory traffic on the hottest
+    decode path of the eval pipeline.
+    """
+    if a.encoding != b.encoding:
+        raise ValueError("streams must share an encoding")
+    if a.length != b.length:
+        raise ValueError("streams must have equal length")
+    op = "and" if a.encoding == "unipolar" else "xnor"
+    counts = _kernels().multiply_popcount(
+        a.packed.words, b.packed.words, op, tail_mask(a.length)
+    )
+    probs = counts / a.length
+    if a.encoding == "unipolar":
+        return unipolar_decode(probs)
+    return bipolar_decode(probs)
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,206 @@
+"""Optional numba JIT backend, feature-detected at import.
+
+Only the reduction- and scan-shaped kernels are JIT-compiled — the ones
+where numpy either materialises large temporaries (multiply + popcount,
+3-op MUX) or loops in Python (the per-byte FSM scan).  Plane generation is
+deliberately **inherited** from the reference backend: bit-identity of
+seeded streams is defined by numpy ``Generator`` draws, and re-implementing
+those in numba would either break identity or just call back into numpy.
+
+All SWAR constants are ``np.uint64`` scalars so every intermediate stays
+unsigned 64-bit inside nopython mode (mixing uint64 with signed literals
+promotes to float64 under numpy/numba rules and silently corrupts bits).
+
+When numba is not installed this module still imports cleanly with
+``HAVE_NUMBA = False``; the registry then resolves ``"numba"`` to the numpy
+backend with a warning instead of raising.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.sc.backends.base import KernelBackend
+
+try:  # pragma: no cover - exercised only where numba is installed (CI job)
+    import numba as _numba
+    from numba import njit, prange
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the local/default environment
+    _numba = None
+    HAVE_NUMBA = False
+
+#: Minimum words in a plane before the JIT kernels beat plain numpy.
+MIN_JIT_WORDS = 1 << 10
+
+_M1 = np.uint64(0x5555555555555555)
+_M2 = np.uint64(0x3333333333333333)
+_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_H01 = np.uint64(0x0101010101010101)
+_ALL = np.uint64(0xFFFFFFFFFFFFFFFF)
+_S1 = np.uint64(1)
+_S2 = np.uint64(2)
+_S4 = np.uint64(4)
+_S56 = np.uint64(56)
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+
+    @njit(inline="always")
+    def _popcount64(x):
+        x = x - ((x >> _S1) & _M1)
+        x = (x & _M2) + ((x >> _S2) & _M2)
+        x = (x + (x >> _S4)) & _M4
+        return (x * _H01) >> _S56
+
+    @njit(parallel=True, nogil=True, cache=True)
+    def _popcount_reduce_rows(words):
+        rows, num_words = words.shape
+        out = np.empty(rows, dtype=np.int64)
+        for i in prange(rows):
+            total = np.uint64(0)
+            for j in range(num_words):
+                total += _popcount64(words[i, j])
+            out[i] = np.int64(total)
+        return out
+
+    @njit(parallel=True, nogil=True, cache=True)
+    def _multiply_popcount_rows(a, b, is_xnor, last_word_mask):
+        rows, num_words = a.shape
+        out = np.empty(rows, dtype=np.int64)
+        for i in prange(rows):
+            total = np.uint64(0)
+            for j in range(num_words):
+                if is_xnor:
+                    word = (a[i, j] ^ b[i, j]) ^ _ALL
+                    if j == num_words - 1:
+                        word = word & last_word_mask
+                else:
+                    word = a[i, j] & b[i, j]
+                total += _popcount64(word)
+            out[i] = np.int64(total)
+        return out
+
+    @njit(parallel=True, nogil=True, cache=True)
+    def _mux_words_flat(sel, on_one, on_zero):
+        out = np.empty_like(sel)
+        for i in prange(sel.shape[0]):
+            s = sel[i]
+            out[i] = (s & on_one[i]) | ((s ^ _ALL) & on_zero[i])
+        return out
+
+    @njit(parallel=True, nogil=True, cache=True)
+    def _fsm_trajectory_rows(stream_bytes, pre, nxt, initial_state):
+        rows, num_bytes = stream_bytes.shape
+        out = np.empty((rows, num_bytes, 8), dtype=np.uint8)
+        for i in prange(rows):
+            state = np.int64(initial_state)
+            for t in range(num_bytes):
+                chunk = np.int64(stream_bytes[i, t])
+                for k in range(8):
+                    out[i, t, k] = pre[state, chunk, k]
+                state = np.int64(nxt[state, chunk])
+        return out
+
+    @njit(parallel=True, nogil=True, cache=True)
+    def _fsm_forward_rows(stream_bytes, nxt, outbyte, initial_state):
+        rows, num_bytes = stream_bytes.shape
+        out = np.empty((rows, num_bytes), dtype=np.uint8)
+        for i in prange(rows):
+            state = np.int64(initial_state)
+            for t in range(num_bytes):
+                chunk = np.int64(stream_bytes[i, t])
+                out[i, t] = outbyte[state, chunk]
+                state = np.int64(nxt[state, chunk])
+        return out
+
+
+class NumbaBackend(KernelBackend):  # pragma: no cover - CI optional-deps job
+    """JIT backend for reductions, MUX and the FSM scan (requires numba)."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        if not HAVE_NUMBA:
+            raise RuntimeError(
+                "numba is not installed; the 'numba' backend is unavailable "
+                "(the registry falls back to 'numpy' with a warning)"
+            )
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "numpy": np.__version__,
+            "numba": _numba.__version__,
+            "threads": int(_numba.get_num_threads()),
+        }
+
+    # ------------------------------------------------------------- popcount
+    def popcount_reduce(self, words: np.ndarray) -> np.ndarray:
+        if words.ndim < 2 or words.size < MIN_JIT_WORDS:
+            return super().popcount_reduce(words)
+        flat = np.ascontiguousarray(words).reshape(-1, words.shape[-1])
+        return _popcount_reduce_rows(flat).reshape(words.shape[:-1])
+
+    def multiply_popcount(
+        self, a: np.ndarray, b: np.ndarray, op: str, last_word_mask: np.uint64
+    ) -> np.ndarray:
+        if a.ndim < 2 or a.size < MIN_JIT_WORDS:
+            return super().multiply_popcount(a, b, op, last_word_mask)
+        if op not in ("and", "xnor"):
+            raise ValueError(f"unknown multiply op {op!r} (expected 'and' or 'xnor')")
+        av = np.ascontiguousarray(a).reshape(-1, a.shape[-1])
+        bv = np.ascontiguousarray(b).reshape(-1, b.shape[-1])
+        counts = _multiply_popcount_rows(av, bv, op == "xnor", np.uint64(last_word_mask))
+        return counts.reshape(a.shape[:-1])
+
+    # ------------------------------------------------------------- word ops
+    def mux_words(self, sel: np.ndarray, on_one: np.ndarray, on_zero: np.ndarray) -> np.ndarray:
+        if sel.size < MIN_JIT_WORDS:
+            return super().mux_words(sel, on_one, on_zero)
+        out = _mux_words_flat(
+            np.ascontiguousarray(sel).reshape(-1),
+            np.ascontiguousarray(on_one).reshape(-1),
+            np.ascontiguousarray(on_zero).reshape(-1),
+        )
+        return out.reshape(sel.shape)
+
+    # ------------------------------------------------------------------- FSM
+    def fsm_trajectory(
+        self,
+        stream_bytes: np.ndarray,
+        pre: np.ndarray,
+        nxt: np.ndarray,
+        initial_state: int,
+        num_states: int,
+    ) -> np.ndarray:
+        num_bytes = stream_bytes.shape[-1]
+        flat = np.ascontiguousarray(stream_bytes).reshape(-1, num_bytes)
+        out = _fsm_trajectory_rows(
+            flat,
+            np.ascontiguousarray(pre),
+            np.ascontiguousarray(nxt),
+            int(initial_state),
+        )
+        return out.reshape(stream_bytes.shape + (8,))
+
+    def fsm_forward_bytes(
+        self,
+        stream_bytes: np.ndarray,
+        nxt: np.ndarray,
+        outbyte: np.ndarray,
+        initial_state: int,
+        num_states: int,
+    ) -> np.ndarray:
+        num_bytes = stream_bytes.shape[-1]
+        flat = np.ascontiguousarray(stream_bytes).reshape(-1, num_bytes)
+        out = _fsm_forward_rows(
+            flat,
+            np.ascontiguousarray(nxt),
+            np.ascontiguousarray(outbyte),
+            int(initial_state),
+        )
+        return out.reshape(stream_bytes.shape)

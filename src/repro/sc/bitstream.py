@@ -151,9 +151,10 @@ class StochasticStream:
         rng = as_generator(seed)
         values = np.asarray(values, dtype=float)
         probs = unipolar_encode(values) if encoding == "unipolar" else bipolar_encode(values)
-        draws = rng.random(values.shape + (length,))
-        bits = draws < probs[..., None]
-        return cls(packed=PackedBitPlane.from_bits(bits), encoding=encoding)
+        from repro.sc.packed import _kernels
+
+        packed = _kernels().bernoulli_plane(values.shape, length, probs, rng)
+        return cls(packed=packed, encoding=encoding)
 
     def probabilities(self) -> np.ndarray:
         """Empirical probability of a 1 along the stream axis."""

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.hw.netlist import ComponentInventory, HardwareModule
 from repro.sc.bitstream import StochasticStream
+from repro.sc.packed import PackedBitPlane, _NATIVE_LITTLE_ENDIAN, _kernels
 from repro.sc.sng import StochasticNumberGenerator
 from repro.utils.rng import SeedLike, as_generator
 from repro.utils.validation import check_positive_int
@@ -102,6 +103,13 @@ class FsmNonlinearUnit:
         self.output_rule = output_rule
         self.name = name
         self.vectorized_rule = bool(vectorized_rule)
+        #: Period (in cycles) of the output rule's dependence on ``cycle``,
+        #: or ``None`` when unknown.  Built-in units declare theirs; when the
+        #: period divides 8 the whole forward pass can run on byte-granular
+        #: output tables (see :meth:`_outbyte_table`).  Custom rules keep
+        #: ``None`` and always take the exact per-cycle path.
+        self.cycle_period: Optional[int] = None
+        self._outbyte_cache: Optional[np.ndarray] = None
 
     # -------------------------------------------------------------- simulate
     def _state_trajectory(self, stream: StochasticStream, initial_state: int) -> np.ndarray:
@@ -124,13 +132,35 @@ class FsmNonlinearUnit:
         pre, nxt = tables
         stream_bytes = stream.packed.byte_view()
         num_bytes = stream_bytes.shape[-1]
-        state = np.full(stream.value_shape, initial_state, dtype=np.intp)
-        trajectory = np.empty(stream.value_shape + (num_bytes, 8), dtype=np.uint8)
-        for t in range(num_bytes):
-            chunk = stream_bytes[..., t]
-            trajectory[..., t, :] = pre[state, chunk]
-            state = nxt[state, chunk].astype(np.intp)
+        trajectory = _kernels().fsm_trajectory(
+            stream_bytes, pre, nxt, initial_state, self.num_states
+        )
         return trajectory.reshape(stream.value_shape + (num_bytes * 8,))[..., :length]
+
+    def _outbyte_table(self) -> Optional[np.ndarray]:
+        """``outbyte[s, byte]``: the 8 output bits emitted while consuming
+        ``byte`` entered in state ``s``, packed little-endian.
+
+        Only defined when the output rule's cycle dependence has a declared
+        period dividing 8 — then every byte starts at cycle phase 0 and the
+        rule evaluated on ``arange(8)`` matches its value at any global
+        cycle, so one table gather per byte replaces the per-cycle rule
+        evaluation over the whole stream.  Returns ``None`` otherwise.
+        """
+        if self._outbyte_cache is not None:
+            return self._outbyte_cache
+        if not self.vectorized_rule or self.cycle_period is None or 8 % self.cycle_period:
+            return None
+        tables = _fsm_scan_tables(self.num_states)
+        if tables is None:
+            return None
+        pre, _ = tables
+        # Input bit i of every byte value, broadcast against the state axis.
+        bits_in = ((np.arange(256)[None, :, None] >> np.arange(8)) & 1).astype(np.int8)
+        out_bits = np.asarray(self.output_rule(pre, bits_in, np.arange(8)))
+        outbyte = np.packbits(out_bits.astype(np.uint8), axis=-1, bitorder="little")
+        self._outbyte_cache = outbyte[..., 0]
+        return self._outbyte_cache
 
     def process(self, stream: StochasticStream, initial_state: Optional[int] = None) -> StochasticStream:
         """Run the FSM over a bipolar input stream, producing a bipolar stream."""
@@ -139,6 +169,21 @@ class FsmNonlinearUnit:
         length = stream.length
         if initial_state is None:
             initial_state = self.num_states // 2
+        outbyte = self._outbyte_table()
+        if outbyte is not None:
+            # Fused path: state scan and output-rule evaluation collapse into
+            # byte-table gathers; bit-identical to the vectorized-rule path
+            # (the constructor re-masks rule output on the zero-padded tail).
+            pre, nxt = _fsm_scan_tables(self.num_states)
+            stream_bytes = stream.packed.byte_view()
+            out_bytes = _kernels().fsm_forward_bytes(
+                stream_bytes, nxt, outbyte, initial_state, self.num_states
+            )
+            words = np.ascontiguousarray(out_bytes).view(np.uint64)
+            if not _NATIVE_LITTLE_ENDIAN:  # pragma: no cover - big-endian hosts
+                words = words.byteswap()
+            packed = PackedBitPlane(words, length)
+            return StochasticStream(packed=packed, encoding="bipolar")
         states = self._state_trajectory(stream, initial_state)
         bits = stream.bits
         if self.vectorized_rule:
@@ -231,6 +276,7 @@ class FsmTanhUnit(FsmNonlinearUnit):
             return (state >= half).astype(np.int8)
 
         super().__init__(num_states=num_states, output_rule=rule, name="fsm_tanh", vectorized_rule=True)
+        self.cycle_period = 1  # the rule ignores the cycle index entirely
 
     def reference(self, values: np.ndarray, input_scale: float = 1.0) -> np.ndarray:
         """The mathematical function the unit approximates."""
@@ -257,6 +303,7 @@ class FsmReluUnit(FsmNonlinearUnit):
             return np.where(positive, in_bit, zero_bit).astype(np.int8)
 
         super().__init__(num_states=num_states, output_rule=rule, name="fsm_relu", vectorized_rule=True)
+        self.cycle_period = 2  # only the 0/1 alternation depends on the cycle
 
     @staticmethod
     def reference(values: np.ndarray, input_scale: float = 1.0) -> np.ndarray:
@@ -290,6 +337,10 @@ class FsmGeluUnit(FsmNonlinearUnit):
             return np.where(gate, in_bit, zero_bit).astype(np.int8)
 
         super().__init__(num_states=num_states, output_rule=rule, name="fsm_gelu", vectorized_rule=True)
+        # The threshold ramp repeats every num_states // 2 cycles and the
+        # 0/1 alternation every 2; the fused byte path engages only when
+        # this combined period divides 8 (true for the default 16 states).
+        self.cycle_period = int(np.lcm(num_states // 2, 2))
 
     @staticmethod
     def reference(values: np.ndarray) -> np.ndarray:

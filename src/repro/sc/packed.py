@@ -56,6 +56,19 @@ def _words_for(length: int) -> int:
     return (length + WORD_BITS - 1) // WORD_BITS
 
 
+def _kernels():
+    """The active kernel backend (see :mod:`repro.sc.backends`).
+
+    Imported lazily per call: the backends package imports this module for
+    :class:`PackedBitPlane`, and per-call resolution is what lets
+    ``use_backend`` / ``set_backend`` switch kernels at any point without
+    invalidating existing planes.
+    """
+    from repro.sc.backends import active_backend
+
+    return active_backend()
+
+
 def tail_mask(length: int) -> np.uint64:
     """Mask of the valid bits in the last word of an ``length``-bit plane."""
     rem = length % WORD_BITS
@@ -182,8 +195,7 @@ class PackedBitPlane:
             raise ValueError("p must lie in [0, 1]")
         if p == 0.0:
             return cls.zeros(value_shape, length)
-        draws = rng.random(tuple(value_shape) + (length,))
-        return cls.from_bits(draws < p)
+        return _kernels().bernoulli_plane(tuple(value_shape), length, p, rng)
 
     def to_bits(self, dtype=np.int8) -> np.ndarray:
         """Materialise the explicit bit array, shape ``value_shape + (length,)``."""
@@ -208,7 +220,7 @@ class PackedBitPlane:
     # ------------------------------------------------------------ decoding
     def popcount(self) -> np.ndarray:
         """Number of 1s per stream, shape ``value_shape`` (int64)."""
-        return popcount_words(self.words).sum(axis=-1, dtype=np.int64)
+        return _kernels().popcount_reduce(self.words)
 
     # ------------------------------------------------------------ gate ops
     def _check_mate(self, other: "PackedBitPlane") -> None:
@@ -217,26 +229,24 @@ class PackedBitPlane:
 
     def __and__(self, other: "PackedBitPlane") -> "PackedBitPlane":
         self._check_mate(other)
-        return PackedBitPlane(self.words & other.words, self.length)
+        return PackedBitPlane(_kernels().and_words(self.words, other.words), self.length)
 
     def __or__(self, other: "PackedBitPlane") -> "PackedBitPlane":
         self._check_mate(other)
-        return PackedBitPlane(self.words | other.words, self.length)
+        return PackedBitPlane(_kernels().or_words(self.words, other.words), self.length)
 
     def __xor__(self, other: "PackedBitPlane") -> "PackedBitPlane":
         self._check_mate(other)
-        return PackedBitPlane(self.words ^ other.words, self.length)
+        return PackedBitPlane(_kernels().xor_words(self.words, other.words), self.length)
 
     def __invert__(self) -> "PackedBitPlane":
-        words = ~self.words
-        words[..., -1] &= tail_mask(self.length)
+        words = _kernels().invert_words(self.words, tail_mask(self.length))
         return PackedBitPlane(words, self.length)
 
     def xnor(self, other: "PackedBitPlane") -> "PackedBitPlane":
         """Word-wise XNOR with the tail re-masked to zero."""
         self._check_mate(other)
-        words = ~(self.words ^ other.words)
-        words[..., -1] &= tail_mask(self.length)
+        words = _kernels().xnor_words(self.words, other.words, tail_mask(self.length))
         return PackedBitPlane(words, self.length)
 
     def mux(self, on_one: "PackedBitPlane", on_zero: "PackedBitPlane") -> "PackedBitPlane":
@@ -248,7 +258,7 @@ class PackedBitPlane:
         """
         self._check_mate(on_one)
         self._check_mate(on_zero)
-        words = (self.words & on_one.words) | (~self.words & on_zero.words)
+        words = _kernels().mux_words(self.words, on_one.words, on_zero.words)
         return PackedBitPlane(words, self.length)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

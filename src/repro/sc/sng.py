@@ -82,6 +82,26 @@ def _lfsr_cycle(width: int, taps: Tuple[int, ...]) -> Optional[Tuple[np.ndarray,
     return cycle, pos
 
 
+@lru_cache(maxsize=64)
+def _lfsr_threshold_cycle(
+    width: int, taps: Tuple[int, ...]
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Unit-interval comparator thresholds of the whole LFSR cycle.
+
+    ``(thresholds, pos)`` where ``thresholds[i] = cycle[i] / 2**width`` —
+    the float each generated bit is compared against.  Caching the float
+    conversion here (once per ``(width, taps)``) instead of converting per
+    :meth:`StochasticNumberGenerator.generate` call batches the LFSR gather
+    work across a whole eval batch: per call only the window gather and the
+    broadcasted comparison remain.
+    """
+    cached = _lfsr_cycle(width, taps)
+    if cached is None:
+        return None
+    cycle, pos = cached
+    return cycle.astype(np.float64) / float(1 << width), pos
+
+
 class LinearFeedbackShiftRegister:
     """A Galois LFSR producing a maximal-length pseudo-random sequence.
 
@@ -217,16 +237,26 @@ class StochasticNumberGenerator:
         values = np.asarray(values, dtype=float)
         probs = self._probabilities(values)
         if self.mode == "ideal":
-            draws = self._rng.random(probs.shape + (self.length,))
-            bits = draws < probs[..., None]
-            return StochasticStream(packed=PackedBitPlane.from_bits(bits), encoding=self.encoding)
+            from repro.sc.packed import _kernels
+
+            packed = _kernels().bernoulli_plane(probs.shape, self.length, probs, self._rng)
+            return StochasticStream(packed=packed, encoding=self.encoding)
 
         # LFSR mode: every value in the batch shares the LFSR sequence, the
         # way a hardware SNG bank shares one pseudo-random source per lane.
         seed_state = int(self._rng.integers(1, (1 << self.lfsr_width) - 1))
         lfsr = LinearFeedbackShiftRegister(self.lfsr_width, seed_state=seed_state)
-        states = lfsr.sequence(self.length).astype(float)
-        thresholds = states / float(lfsr.period + 1)
+        cached = _lfsr_threshold_cycle(self.lfsr_width, lfsr.taps)
+        thresholds = None
+        if cached is not None:
+            threshold_cycle, pos = cached
+            start = int(pos[seed_state])
+            if start >= 0:
+                idx = (start + 1 + np.arange(self.length, dtype=np.int64)) % len(threshold_cycle)
+                thresholds = threshold_cycle[idx]
+        if thresholds is None:  # non-maximal user taps: scalar stepping
+            states = lfsr.sequence(self.length).astype(float)
+            thresholds = states / float(lfsr.period + 1)
         bits = thresholds[None, ...] < probs.reshape(-1, 1)
         bits = bits.reshape(probs.shape + (self.length,))
         return StochasticStream(packed=PackedBitPlane.from_bits(bits), encoding=self.encoding)

@@ -337,3 +337,43 @@ class TestValidationFastPathsStaySound:
         stream = ThermometerStream(counts=np.array([2]), length=4, scale=1.0)
         out = block.process(stream)
         assert 0 <= out.counts.min() and out.counts.max() <= 5
+
+class TestPopcountLutFallback:
+    """The byte-LUT popcount path (numpy < 2, no ``np.bitwise_count``) must
+    agree exactly with the native ufunc — exercised via monkeypatch since
+    CI always has numpy 2."""
+
+    def test_lut_matches_native_popcount(self, monkeypatch):
+        import repro.sc.packed as packed
+
+        words = np.random.default_rng(0).integers(
+            0, 2**63, size=(4, 9), dtype=np.uint64
+        )
+        words[0, 0] = 0
+        words[1, 0] = np.uint64(0xFFFFFFFFFFFFFFFF)
+        native = packed.popcount_words(words)
+        monkeypatch.setattr(packed, "HAVE_BITWISE_COUNT", False)
+        lut = packed.popcount_words(words)
+        assert np.array_equal(np.asarray(lut, dtype=np.int64), np.asarray(native, dtype=np.int64))
+
+    @pytest.mark.parametrize("length", [1, 63, 64, 65, 200])
+    def test_plane_popcount_under_lut_fallback(self, monkeypatch, length):
+        import repro.sc.packed as packed
+
+        bits = random_bits(np.random.default_rng(3), (6, length))
+        plane = PackedBitPlane.from_bits(bits)
+        monkeypatch.setattr(packed, "HAVE_BITWISE_COUNT", False)
+        assert np.array_equal(plane.popcount(), bits.sum(axis=-1))
+
+    def test_multiply_decode_under_lut_fallback(self, monkeypatch):
+        import repro.sc.packed as packed
+
+        rng = np.random.default_rng(4)
+        a = StochasticStream.encode(rng.random((5, 5)), 100, seed=1)
+        b = StochasticStream.encode(rng.random((5, 5)), 100, seed=2)
+        expected = unipolar_multiply(a, b).decode()
+        monkeypatch.setattr(packed, "HAVE_BITWISE_COUNT", False)
+        assert np.allclose(unipolar_multiply(a, b).decode(), expected)
+        from repro.sc.arithmetic import fused_multiply_decode
+
+        assert np.allclose(fused_multiply_decode(a, b), expected)

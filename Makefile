@@ -33,9 +33,10 @@ bench-serve:
 	$(REPRO) bench --suite serve --check-floor
 
 ## Serve acceptance gate: 64 concurrent requests bit-identical to offline
-## eval (fault-free and under fault injection) + warm pass 100% cache hits.
+## eval (fault-free and under fault injection) + warm pass 100% cache hits,
+## run through both engine families (thread + 2-shard process).
 serve-smoke:
-	PYTHONPATH=src python benchmarks/bench_serve_latency.py --smoke
+	PYTHONPATH=src python benchmarks/bench_serve_latency.py --smoke --engine both
 
 ## Lint (ruff config lives in pyproject.toml).  Falls back to a syntax
 ## check when ruff is not installed locally; CI always installs ruff.

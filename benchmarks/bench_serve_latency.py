@@ -12,11 +12,21 @@ in the two canonical load shapes:
   exponential inter-arrivals at ``OPEN_RATE`` req/s) regardless of
   completions, the arrival model that actually exposes queueing delay:
   tail latency under open load is the honest serving metric.
+* **sharded scaling** — the same multi-client closed loop against the
+  :class:`~repro.serve.ShardedProcessEngine` at 1 and 2 shards, recording
+  per-shard :class:`~repro.serve.ServiceStats` (merged across shards) and
+  the ``scaling_2x`` throughput ratio.
 
 Results go to ``benchmarks/results/BENCH_serve.json`` together with the
 regression bounds: a sustained-throughput floor (the acceptance criterion:
->= 50 img/s on the tiny CI model) and p99 tail-latency ceilings.
-``python -m repro bench --suite serve --check-floor`` gates on them.
+>= 50 img/s on the tiny CI model), p99 tail-latency ceilings, and the
+2-shard throughput-scaling floor (>= 1.5x over one shard; qualified with
+``requires_cpus: 2`` because a single-CPU host cannot physically exhibit
+process-level scaling — the measurement is recorded there but the floor
+only gates where it can hold).  Per-engine copies of the payload land in
+``BENCH_serve_thread.json`` / ``BENCH_serve_sharded.json`` for CI
+artifact upload.  ``python -m repro bench --suite serve --check-floor``
+gates on the floors.
 
 The timed sections run with the prediction cache *disabled* — a load
 generator that cycles over images would otherwise measure dictionary
@@ -37,6 +47,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -52,7 +63,13 @@ from repro.eval_pipeline import ScViTEvalPipeline
 from repro.evaluation.reporting import format_table
 from repro.evaluation.vectors import collect_softmax_inputs
 from repro.nn.vit import CompactVisionTransformer, ViTConfig
-from repro.serve import InferenceService, PredictionCache, build_engine
+from repro.serve import (
+    InferenceService,
+    PredictionCache,
+    ShardedPredictionCache,
+    build_engine,
+    build_sharded_engine,
+)
 from repro.training.datasets import DatasetSplit, SyntheticImageDataset
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -75,6 +92,11 @@ CLOSED_IMAGES = 256
 OPEN_RATE = 200.0  # req/s offered
 OPEN_IMAGES = 128
 SMOKE_IMAGES = 64
+#: The sharded closed loop is smaller: every request crosses a process
+#: boundary (NPZ frame each way), so per-image cost is dominated by the
+#: forward only once batches form.
+SHARDED_CLIENTS = 8
+SHARDED_IMAGES = 96
 
 #: Regression bounds recorded into the payload; ``repro bench --suite serve
 #: --check-floor`` fails when a measurement leaves them.  The throughput
@@ -82,29 +104,50 @@ SMOKE_IMAGES = 64
 #: model); it is far under the >1000 img/s typically measured so only a
 #: real regression — not scheduler noise on a loaded CI runner — trips it.
 #: The p99 ceilings bound the tail the batcher + queue are allowed to add.
+#: The sharded floors: the 2-shard closed loop must scale throughput by
+#: >= 1.5x over one shard wherever the host has the cores to show it
+#: (``requires_cpus`` — on a 1-CPU runner the ratio is recorded but the
+#: floor is skipped), and its tail stays bounded even with IPC in the path.
 FLOORS = {
     "closed_loop.throughput_img_per_s": {"min": 50.0},
     "closed_loop.p99_ms": {"max": 1000.0},
     "open_loop.p99_ms": {"max": 1000.0},
+    "sharded.shards_2.p99_ms": {"max": 5000.0},
+    "sharded.scaling_2x": {"min": 1.5, "requires_cpus": 2},
 }
 
 
 def _build(flip_prob: float = 0.0, workers: int = 2, cached: bool = False,
-           max_batch: int = 16, max_wait_ms: float = 2.0, max_queue: int = 1024):
-    """One service stack over the tiny model (service not yet started)."""
+           max_batch: int = 16, max_wait_ms: float = 2.0, max_queue: int = 1024,
+           engine: str = "thread", shards: int = 2):
+    """One service stack over the tiny model (service not yet started).
+
+    ``engine="thread"`` builds the in-process :class:`PipelineEngine` with
+    ``workers`` threads; ``engine="process"`` builds a
+    :class:`ShardedProcessEngine` with ``shards`` worker processes and a
+    consistent-hash :class:`ShardedPredictionCache` when caching is on.
+    """
     model = CompactVisionTransformer(ViTConfig(**TINY_VIT))
     dataset = SyntheticImageDataset(num_classes=TINY_VIT["num_classes"],
                                     image_size=TINY_VIT["image_size"], seed=5)
     train, _ = dataset.splits(train_size=16, test_size=1)
     softmax = SoftmaxCircuitConfig(**TINY_SOFTMAX)
     calibration = collect_softmax_inputs(model, train.images[:4], max_rows=512)
-    engine = build_engine(
-        model, softmax, gelu_output_bsl=GELU_BSL, flip_prob=flip_prob,
-        fault_seed=FAULT_SEED, calibration_logits=calibration, workers=workers,
-    )
+    if engine == "process":
+        engine_obj = build_sharded_engine(
+            model, softmax, gelu_output_bsl=GELU_BSL, flip_prob=flip_prob,
+            fault_seed=FAULT_SEED, calibration_logits=calibration, shards=shards,
+        )
+        cache = ShardedPredictionCache(shards=shards) if cached else None
+    else:
+        engine_obj = build_engine(
+            model, softmax, gelu_output_bsl=GELU_BSL, flip_prob=flip_prob,
+            fault_seed=FAULT_SEED, calibration_logits=calibration, workers=workers,
+        )
+        cache = PredictionCache() if cached else None
     service = InferenceService(
-        engine, max_batch=max_batch, max_wait_ms=max_wait_ms, max_queue=max_queue,
-        cache=PredictionCache() if cached else None,
+        engine_obj, max_batch=max_batch, max_wait_ms=max_wait_ms, max_queue=max_queue,
+        cache=cache,
     )
     return model, softmax, calibration, service
 
@@ -185,13 +228,40 @@ async def open_loop(service: InferenceService, images: np.ndarray, rate: float) 
     }
 
 
+async def sharded_scaling() -> dict:
+    """Multi-client closed loop at 1 and 2 process shards.
+
+    Each shard count gets a fresh engine and disjoint-shard clients; the
+    section records the per-shard :class:`~repro.serve.ServiceStats`
+    snapshots (and their merge) straight from
+    :meth:`ShardedProcessEngine.stats_snapshot`, plus the ``scaling_2x``
+    throughput ratio the floor gates on.
+    """
+    section: dict = {}
+    images = _images(SHARDED_IMAGES)
+    for shards in (1, 2):
+        _, _, _, service = _build(cached=False, engine="process", shards=shards)
+        async with service:
+            run = await closed_loop(service, images, SHARDED_CLIENTS)
+            engine_snapshot = service.engine.stats_snapshot()
+        run["per_shard"] = engine_snapshot["per_shard"]
+        run["merged"] = engine_snapshot["merged"]
+        run["lifecycle"] = engine_snapshot["lifecycle"]
+        section[f"shards_{shards}"] = run
+    section["scaling_2x"] = (
+        section["shards_2"]["throughput_img_per_s"]
+        / section["shards_1"]["throughput_img_per_s"]
+    )
+    return section
+
+
 # ---------------------------------------------------------------------------
 # Harness entry points (also loaded by `repro bench --suite serve`)
 # ---------------------------------------------------------------------------
 
 
 def run_benchmarks() -> dict:
-    """Both load shapes on the tiny model, cache off; returns the payload."""
+    """All load shapes on the tiny model, cache off; returns the payload."""
 
     async def measure() -> dict:
         _, _, _, service = _build(cached=False)
@@ -200,20 +270,24 @@ def run_benchmarks() -> dict:
         _, _, _, service = _build(cached=False)
         async with service:
             opened = await open_loop(service, _images(OPEN_IMAGES), OPEN_RATE)
-        return {"closed_loop": closed, "open_loop": opened}
+        sharded = await sharded_scaling()
+        return {"closed_loop": closed, "open_loop": opened, "sharded": sharded}
 
     payload = asyncio.run(measure())
     payload["model"] = dict(TINY_VIT)
     payload["softmax"] = dict(TINY_SOFTMAX)
     payload["gelu_output_bsl"] = GELU_BSL
+    payload["host"] = {"cpu_count": os.cpu_count()}
     payload["floors"] = {metric: dict(bounds) for metric, bounds in FLOORS.items()}
     return payload
 
 
 def print_report(payload: dict) -> None:
     rows = []
-    for shape in ("closed_loop", "open_loop"):
-        section = payload[shape]
+    sections = [("closed_loop", payload["closed_loop"]), ("open_loop", payload["open_loop"])]
+    sharded = payload.get("sharded", {})
+    sections += [(name, sharded[name]) for name in ("shards_1", "shards_2") if name in sharded]
+    for shape, section in sections:
         rows.append((
             shape,
             section["images"],
@@ -231,12 +305,42 @@ def print_report(payload: dict) -> None:
         f"closed-loop batching: mean size {closed['mean_batch_size']:.1f}, "
         f"histogram {closed['batch_histogram']}"
     )
+    if "scaling_2x" in sharded:
+        cpus = payload.get("host", {}).get("cpu_count")
+        print(
+            f"sharded scaling: 2 shards / 1 shard throughput = "
+            f"{sharded['scaling_2x']:.2f}x on {cpus} CPU(s)"
+        )
 
 
 def save_report(payload: dict) -> Path:
+    """Write the combined payload plus per-engine copies for CI artifacts.
+
+    ``BENCH_serve.json`` is the canonical gated file; the thread-only and
+    sharded-only views carry the same floors restricted to their sections,
+    so each CI engine job uploads a payload whose floors all refer to
+    measurements it actually made.
+    """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / "BENCH_serve.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    views = {
+        "BENCH_serve_thread.json": ("closed_loop", "open_loop"),
+        "BENCH_serve_sharded.json": ("sharded",),
+    }
+    shared = {key: payload[key] for key in ("model", "softmax", "gelu_output_bsl", "host")
+              if key in payload}
+    for name, keys in views.items():
+        view = dict(shared)
+        for key in keys:
+            if key in payload:
+                view[key] = payload[key]
+        view["floors"] = {
+            metric: dict(bounds)
+            for metric, bounds in payload.get("floors", {}).items()
+            if metric.split(".", 1)[0] in keys
+        }
+        (RESULTS_DIR / name).write_text(json.dumps(view, indent=2, sort_keys=True))
     return path
 
 
@@ -245,8 +349,13 @@ def save_report(payload: dict) -> Path:
 # ---------------------------------------------------------------------------
 
 
-def run_smoke() -> int:
-    """64 concurrent requests: bit-identity vs offline eval + warm-cache pass."""
+def run_smoke(engine: str = "thread") -> int:
+    """64 concurrent requests: bit-identity vs offline eval + warm-cache pass.
+
+    ``engine="process"`` runs the same gate through a 2-shard
+    :class:`ShardedProcessEngine` — the serve invariant must survive the
+    process boundary and consistent-hash cache routing unchanged.
+    """
     images = _images(SMOKE_IMAGES)
     labels = np.zeros(SMOKE_IMAGES, dtype=np.int64)  # accuracy is irrelevant here
     split = DatasetSplit(images=images, labels=labels)
@@ -254,7 +363,8 @@ def run_smoke() -> int:
 
     for flip_prob in (0.0, 0.05):
         model, softmax, calibration, service = _build(
-            flip_prob=flip_prob, cached=True, max_batch=8, max_wait_ms=4.0
+            flip_prob=flip_prob, cached=True, max_batch=8, max_wait_ms=4.0,
+            engine=engine, shards=2,
         )
         offline = ScViTEvalPipeline(
             model, softmax, gelu_output_bsl=GELU_BSL, flip_prob=flip_prob,
@@ -275,25 +385,25 @@ def run_smoke() -> int:
         served = np.array([result.prediction for result in cold], dtype=np.int64)
         if np.array_equal(served, offline.predictions):
             print(
-                f"PASS smoke bit-identity (flip_prob={flip_prob}, {SMOKE_IMAGES} "
-                f"concurrent requests, mean batch "
+                f"PASS smoke bit-identity (engine={engine}, flip_prob={flip_prob}, "
+                f"{SMOKE_IMAGES} concurrent requests, mean batch "
                 f"{snapshot['batching']['mean_batch_size']:.1f})"
             )
         else:
             diverged = int(np.sum(served != offline.predictions))
             print(
                 f"FAIL smoke: {diverged}/{SMOKE_IMAGES} served predictions differ "
-                f"from offline eval at flip_prob={flip_prob}",
+                f"from offline eval at engine={engine}, flip_prob={flip_prob}",
                 file=sys.stderr,
             )
             failures += 1
         hits = sum(1 for result in warm if result.cached)
         if hits == SMOKE_IMAGES:
-            print(f"PASS smoke warm pass 100% cache hits (flip_prob={flip_prob})")
+            print(f"PASS smoke warm pass 100% cache hits (engine={engine}, flip_prob={flip_prob})")
         else:
             print(
                 f"FAIL smoke: warm pass served {hits}/{SMOKE_IMAGES} from cache "
-                f"at flip_prob={flip_prob}",
+                f"at engine={engine}, flip_prob={flip_prob}",
                 file=sys.stderr,
             )
             failures += 1
@@ -306,9 +416,15 @@ def main(argv=None) -> int:
         "--smoke", action="store_true",
         help="CI gate: concurrent bit-identity vs offline eval + warm-cache pass",
     )
+    parser.add_argument(
+        "--engine", choices=["thread", "process", "both"], default="thread",
+        help="engine family the smoke gate drives (process = 2 shards); "
+             "'both' runs the gate once per family",
+    )
     args = parser.parse_args(argv)
     if args.smoke:
-        return run_smoke()
+        engines = ["thread", "process"] if args.engine == "both" else [args.engine]
+        return max(run_smoke(engine=engine) for engine in engines)
     payload = run_benchmarks()
     print_report(payload)
     saved = save_report(payload)

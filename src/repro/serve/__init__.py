@@ -1,37 +1,63 @@
-"""Async dynamic-batching inference service for the SC-ViT reproduction.
+"""Async dynamic-batching inference tier for the SC-ViT reproduction.
 
 The serving subsystem turns the offline evaluation stack into an online
 service without giving up a single bit of its accuracy guarantees: PR 3's
 batch-invariant numerics plus per-image fault seeding mean concurrent
 requests can be coalesced into opportunistic micro-batches whose results
-are bit-identical to evaluating each image alone.
+are bit-identical to evaluating each image alone — and (since the sharded
+tier) dispatched to any worker *process* with the same guarantee.
 
+* :mod:`repro.serve.specs` — :class:`ServeSpec`: a frozen,
+  JSON-round-trippable description of one whole deployment (model,
+  circuit, engine family, sharding, cache, transport), mirroring
+  :mod:`repro.blocks.specs`.
+* :mod:`repro.serve.deploy` — :func:`build_deployment`: the single path
+  from a spec to a startable :class:`Deployment` (what ``repro serve
+  --spec`` and ``repro run`` use).
 * :mod:`repro.serve.service` — :class:`InferenceService`: bounded request
   queue with explicit backpressure, request coalescing, per-request
   timeouts, stats snapshot.
 * :mod:`repro.serve.batcher` — :class:`DynamicBatcher`: flush on
   ``max_batch`` or ``max_wait_ms``, whichever first; batch size adapts to
   load.
-* :mod:`repro.serve.engine` — :class:`PipelineEngine`: thread worker pool
+* :mod:`repro.serve.engine` — the :class:`EngineProtocol` seam,
+  :class:`ReplicaFactory`, and :class:`PipelineEngine`: thread worker pool
   running :class:`~repro.eval_pipeline.ScViTEvalPipeline` forwards on
   per-worker model replicas (circuits built via :mod:`repro.blocks`).
-* :mod:`repro.serve.cache` — :class:`PredictionCache`: idempotent
-  per-request result reuse, content-addressed with the sweep cache's
-  fingerprint scheme (:func:`repro.runner.cache.cache_key`).
-* :mod:`repro.serve.stats` — :class:`ServiceStats`: throughput, p50/p95/p99
-  latency, batch-size histogram, cache hit rate.
+* :mod:`repro.serve.sharded` — :class:`ShardedProcessEngine`: N worker
+  processes with per-process replicas, NPZ-frame pipe handoff,
+  worker-death re-dispatch and queue-depth replica scaling.
+* :mod:`repro.serve.cache` — :class:`PredictionCache` and its
+  consistent-hash sharded sibling :class:`ShardedPredictionCache`:
+  idempotent per-request result reuse, content-addressed with the sweep
+  cache's fingerprint scheme (:func:`repro.runner.cache.cache_key`).
+* :mod:`repro.serve.stats` — :class:`ServiceStats`: throughput,
+  p50/p95/p99 latency, batch-size histogram, cache hit rate; per-shard
+  instances aggregate with :meth:`ServiceStats.merge`.
 * :mod:`repro.serve.transport` — stdio/TCP JSON-lines and localhost-HTTP
   front ends over one shared protocol handler.
 
-Entry points: ``python -m repro serve`` (CLI),
-``benchmarks/bench_serve_latency.py`` (closed-/open-loop load generator ->
-``BENCH_serve.json``) and the ``serve`` section of ``python -m repro
-verify``.  See ``docs/serving.md``.
+Entry points: ``python -m repro serve [--spec deployment.json]`` (CLI),
+``benchmarks/bench_serve_latency.py`` (closed-/open-loop + sharded
+scaling load generator -> ``BENCH_serve.json``) and the ``serve``
+sections of ``python -m repro verify``.  See ``docs/serving.md``.
 """
 
 from repro.serve.batcher import DynamicBatcher
-from repro.serve.cache import PredictionCache, request_fingerprint
-from repro.serve.engine import PipelineEngine, build_engine, pipeline_fingerprint
+from repro.serve.cache import (
+    HashRing,
+    PredictionCache,
+    ShardedPredictionCache,
+    request_fingerprint,
+)
+from repro.serve.deploy import Deployment, build_deployment
+from repro.serve.engine import (
+    EngineProtocol,
+    PipelineEngine,
+    ReplicaFactory,
+    build_engine,
+    pipeline_fingerprint,
+)
 from repro.serve.service import (
     InferenceService,
     PredictionResult,
@@ -39,20 +65,31 @@ from repro.serve.service import (
     ServiceClosed,
     ServiceOverloaded,
 )
+from repro.serve.sharded import ShardedProcessEngine, build_sharded_engine
+from repro.serve.specs import ServeSpec
 from repro.serve.stats import ServiceStats
 from repro.serve.transport import handle_message, serve_http, serve_stdio
 
 __all__ = [
+    "Deployment",
     "DynamicBatcher",
+    "EngineProtocol",
+    "HashRing",
     "InferenceService",
     "PipelineEngine",
     "PredictionCache",
     "PredictionResult",
+    "ReplicaFactory",
     "RequestTimeout",
+    "ServeSpec",
     "ServiceClosed",
     "ServiceOverloaded",
     "ServiceStats",
+    "ShardedPredictionCache",
+    "ShardedProcessEngine",
+    "build_deployment",
     "build_engine",
+    "build_sharded_engine",
     "handle_message",
     "pipeline_fingerprint",
     "request_fingerprint",

@@ -1,0 +1,178 @@
+"""Build a running deployment from a declarative :class:`ServeSpec`.
+
+The single construction site for the serving tier: the CLI's flags, a
+``--spec deployment.json`` file and ``repro run`` on a serve spec all
+funnel into :func:`build_deployment`, so there is exactly one code path
+from "description of a deployment" to "running service" — what the spec
+says is what serves.
+
+.. note::
+   The keyword builders (:func:`repro.serve.build_engine`,
+   :func:`repro.serve.sharded.build_sharded_engine`) remain as documented
+   shims for existing callers and tests; this module is the supported
+   entry point for new deployments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.serve.engine import PipelineEngine, ReplicaFactory
+from repro.serve.service import InferenceService
+from repro.serve.specs import ServeSpec
+
+__all__ = ["Deployment", "build_deployment", "build_model"]
+
+
+class Deployment:
+    """A built (not yet started) service plus the spec that produced it.
+
+    ``async with deployment:`` starts/stops the underlying
+    :class:`~repro.serve.InferenceService`; :meth:`to_spec` returns the
+    originating spec unchanged, so a deployment round-trips byte-exactly:
+    ``build_deployment(spec).to_spec().to_json() == spec.to_json()``.
+    """
+
+    def __init__(self, spec: ServeSpec, service: InferenceService, engine: Any, cache: Any) -> None:
+        self._spec = spec
+        self.service = service
+        self.engine = engine
+        self.cache = cache
+
+    def to_spec(self) -> ServeSpec:
+        return self._spec
+
+    @classmethod
+    def from_spec(cls, spec: ServeSpec) -> "Deployment":
+        return build_deployment(spec)
+
+    async def __aenter__(self) -> "Deployment":
+        await self.service.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.service.stop()
+
+
+def build_model(spec: ServeSpec) -> Tuple[Any, Any, int]:
+    """The spec's model + its training split + class count.
+
+    Mirrors the ``repro serve``/``repro eval`` model construction exactly
+    (16x16 synthetic images, BN norm) so a spec with the CLI's default
+    fields serves the same fingerprinted engine the flags did.
+    """
+    from repro.nn.vit import CompactVisionTransformer, ViTConfig
+    from repro.training.datasets import synthetic_cifar10, synthetic_cifar100
+
+    dataset_fn = {"cifar10": synthetic_cifar10, "cifar100": synthetic_cifar100}[spec.dataset]
+    num_classes = {"cifar10": 10, "cifar100": 100}[spec.dataset]
+    train, _ = dataset_fn(train_size=spec.train_size, test_size=1, seed=spec.data_seed)
+    config = ViTConfig(
+        image_size=16,
+        patch_size=4,
+        embed_dim=spec.embed_dim,
+        num_layers=spec.layers,
+        num_heads=spec.heads,
+        num_classes=num_classes,
+        norm="bn",
+        seed=spec.model_seed,
+    )
+    model = CompactVisionTransformer(config)
+    if spec.checkpoint is not None:
+        from repro.nn.serialization import load_model
+
+        load_model(spec.checkpoint, model)
+    return model, train, num_classes
+
+
+def build_deployment(spec: ServeSpec, code_version: Optional[str] = None) -> "Deployment":
+    """Everything between a :class:`ServeSpec` and a startable service.
+
+    Builds the model and calibration logits, resolves the engine family
+    (``thread`` -> :class:`~repro.serve.engine.PipelineEngine`,
+    ``process`` -> :class:`~repro.serve.sharded.ShardedProcessEngine`
+    with consistent-hash sharded caching), honors the spec's ``backend``
+    field (threaded through every replica's forwards via
+    :func:`repro.sc.backends.use_backend`), and wires the cache policy.
+    """
+    from repro.blocks.specs import SoftmaxCircuitConfig, calibrate_alpha_y
+    from repro.evaluation.vectors import collect_softmax_inputs
+
+    if spec.backend is not None:
+        # Fail at build time, not inside a worker process an hour later.
+        from repro.sc.backends import available_backends
+
+        if spec.backend not in available_backends():
+            raise ValueError(
+                f"unknown SC kernel backend {spec.backend!r}; "
+                f"expected one of {available_backends()}"
+            )
+
+    model, train, _ = build_model(spec)
+    softmax = SoftmaxCircuitConfig(
+        m=64,
+        iterations=spec.k,
+        bx=4,
+        alpha_x=2.0,
+        by=spec.by,
+        alpha_y=calibrate_alpha_y(spec.by, 64),
+        s1=spec.s1,
+        s2=spec.s2,
+    )
+    calibration = collect_softmax_inputs(
+        model, train.images[: spec.calibration_images], max_rows=512
+    )
+    factory = ReplicaFactory(
+        model=model,
+        softmax_config=softmax,
+        gelu_output_bsl=spec.gelu_bsl,
+        flip_prob=spec.flip_prob,
+        fault_seed=spec.fault_seed,
+        calibration_logits=calibration,
+        backend=spec.backend,
+    )
+
+    if spec.engine == "process":
+        from repro.serve.sharded import ShardedProcessEngine
+
+        engine: Any = ShardedProcessEngine(
+            factory,
+            shards=spec.workers,
+            max_shards=spec.max_shards,
+            scale_up_queue_depth=spec.scale_up_queue_depth,
+            flip_prob=spec.flip_prob,
+            image_shape=factory.image_shape(),
+        )
+    else:
+        engine = PipelineEngine(
+            factory,
+            workers=spec.workers,
+            flip_prob=spec.flip_prob,
+            image_shape=factory.image_shape(),
+        )
+
+    cache = None
+    if spec.cache:
+        from repro.runner.cache import ResultCache
+        from repro.serve.cache import PredictionCache, ShardedPredictionCache
+
+        backing = ResultCache(spec.cache_dir) if spec.cache_dir else None
+        if spec.engine == "process":
+            # Partition count tracks the autoscale ceiling so every shard
+            # the engine can ever grow to has a home partition.
+            cache = ShardedPredictionCache(
+                shards=spec.max_shards or spec.workers, backing=backing
+            )
+        else:
+            cache = PredictionCache(backing=backing)
+
+    service = InferenceService(
+        engine,
+        max_batch=spec.max_batch,
+        max_wait_ms=spec.max_wait_ms,
+        max_queue=spec.max_queue,
+        request_timeout_s=spec.timeout_s,
+        cache=cache,
+        code_version=code_version,
+    )
+    return Deployment(spec, service, engine, cache)

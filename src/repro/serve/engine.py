@@ -28,7 +28,8 @@ import contextlib
 import copy
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -36,7 +37,50 @@ from repro.eval_pipeline.pipeline import ScViTEvalPipeline
 from repro.nn.autograd import batch_invariant_matmul, no_grad
 from repro.runner.cache import array_digest, canonical_json
 
-__all__ = ["PipelineEngine", "build_engine", "pipeline_fingerprint"]
+__all__ = [
+    "EngineProtocol",
+    "PipelineEngine",
+    "ReplicaFactory",
+    "build_engine",
+    "pipeline_fingerprint",
+]
+
+
+@runtime_checkable
+class EngineProtocol(Protocol):
+    """The seam between :class:`~repro.serve.InferenceService` and compute.
+
+    Anything with this surface can sit under the service: the in-process
+    thread pool (:class:`PipelineEngine`), the multi-process sharded tier
+    (:class:`~repro.serve.sharded.ShardedProcessEngine`), or a test stub.
+    The contract beyond the signatures:
+
+    * ``run`` is thread-safe, called from ``executor`` threads, and its
+      predictions are a pure function of ``(images, indices)`` — the
+      batching invariant the whole service is built on.
+    * ``workers`` is the *current* parallel batch capacity; engines that
+      autoscale may grow it between calls (the service re-syncs its worker
+      slots against it each batch).
+    * ``version`` is the cache fingerprint of the replica configuration;
+      two engines with equal versions must produce bit-identical
+      predictions.
+
+    Optional extensions the service uses when present: ``observe_load``
+    (queue-depth autoscaling hook) and ``stats_snapshot`` (per-shard
+    accounting merged into the ``/stats`` payload).
+    """
+
+    workers: int
+    version: str
+    flip_prob: float
+    image_shape: Optional[tuple]
+    executor: Optional[ThreadPoolExecutor]
+
+    def start(self) -> None: ...
+
+    def close(self) -> None: ...
+
+    def run(self, images: np.ndarray, indices: np.ndarray) -> np.ndarray: ...
 
 
 def pipeline_fingerprint(pipeline: ScViTEvalPipeline) -> str:
@@ -58,6 +102,47 @@ def pipeline_fingerprint(pipeline: ScViTEvalPipeline) -> str:
         "fault_seed": pipeline.fault_model.seed if pipeline.fault_model is not None else 0,
     }
     return array_digest(np.frombuffer(canonical_json(identity).encode(), dtype=np.uint8))
+
+
+@dataclass
+class ReplicaFactory:
+    """Picklable recipe for one bit-identical pipeline replica.
+
+    Both engines build their replicas from one of these: the thread engine
+    calls it once per worker thread, the sharded engine ships it (pickled
+    by ``multiprocessing``) to each worker process, which calls it once at
+    startup.  Every call deep-copies the template model, so replicas never
+    share mutable state — the pipeline patches circuit substitutions into
+    the model's blocks during a forward, and a shared model would race.
+
+    ``backend`` names the SC kernel backend the replica's forwards run
+    under (:func:`repro.sc.backends.use_backend`); backends are
+    bit-identical by contract, so it is a throughput knob that deliberately
+    does **not** enter :func:`pipeline_fingerprint`.
+    """
+
+    model: Any
+    softmax_config: Any
+    gelu_output_bsl: Optional[int] = None
+    flip_prob: float = 0.0
+    fault_seed: int = 0
+    calibration_logits: Optional[np.ndarray] = None
+    backend: Optional[str] = None
+
+    def __call__(self) -> ScViTEvalPipeline:
+        return ScViTEvalPipeline(
+            copy.deepcopy(self.model),
+            self.softmax_config,
+            gelu_output_bsl=self.gelu_output_bsl,
+            flip_prob=self.flip_prob,
+            fault_seed=self.fault_seed,
+            calibration_logits=self.calibration_logits,
+            backend=self.backend,
+        )
+
+    def image_shape(self) -> tuple:
+        config = self.model.config
+        return (config.image_size, config.image_size, config.in_channels)
 
 
 class PipelineEngine:
@@ -149,6 +234,7 @@ def build_engine(
     fault_seed: int = 0,
     calibration_logits: Optional[np.ndarray] = None,
     workers: int = 1,
+    backend: Optional[str] = None,
 ) -> PipelineEngine:
     """Engine over ``model`` with the same substitution protocol as offline eval.
 
@@ -156,18 +242,24 @@ def build_engine(
     ``alpha_x`` on for served predictions to be bit-identical to
     :meth:`ScViTEvalPipeline.evaluate` (collect them once with
     :func:`repro.evaluation.vectors.collect_softmax_inputs`).
+
+    .. deprecated::
+        Keyword-argument construction is kept as a shim for existing
+        callers; new deployments should describe themselves with a
+        :class:`repro.serve.specs.ServeSpec` and go through
+        :func:`repro.serve.deploy.build_deployment`, which routes through
+        this builder (or the sharded one) from a single declarative
+        artifact.
     """
-
-    def factory() -> ScViTEvalPipeline:
-        return ScViTEvalPipeline(
-            copy.deepcopy(model),
-            softmax_config,
-            gelu_output_bsl=gelu_output_bsl,
-            flip_prob=flip_prob,
-            fault_seed=fault_seed,
-            calibration_logits=calibration_logits,
-        )
-
-    config = model.config
-    image_shape = (config.image_size, config.image_size, config.in_channels)
-    return PipelineEngine(factory, workers=workers, flip_prob=flip_prob, image_shape=image_shape)
+    factory = ReplicaFactory(
+        model=model,
+        softmax_config=softmax_config,
+        gelu_output_bsl=gelu_output_bsl,
+        flip_prob=flip_prob,
+        fault_seed=fault_seed,
+        calibration_logits=calibration_logits,
+        backend=backend,
+    )
+    return PipelineEngine(
+        factory, workers=workers, flip_prob=flip_prob, image_shape=factory.image_shape()
+    )

@@ -151,7 +151,8 @@ class InferenceService:
         self.engine.start()
         self._queue = asyncio.Queue(maxsize=self.max_queue)
         self._batcher = DynamicBatcher(self._queue, self.max_batch, self.max_wait_ms)
-        self._worker_slots = asyncio.Semaphore(self.engine.workers)
+        self._granted_slots = int(self.engine.workers)
+        self._worker_slots = asyncio.Semaphore(self._granted_slots)
         self._batch_loop_task = asyncio.create_task(self._batch_loop())
         self.stats.start()
         self._started = True
@@ -264,11 +265,29 @@ class InferenceService:
         return image
 
     # ------------------------------------------------------------ batch loop
+    def _sync_worker_slots(self) -> None:
+        """Grow the slot pool when an autoscaling engine adds capacity.
+
+        Engines with a dynamic ``workers`` count (the sharded process
+        engine) gain slots here so new shards take traffic on the next
+        batch.  Slots are never reclaimed: a retiring engine just leaves a
+        slot idle, which is harmless — the engine routes around retired
+        shards itself.
+        """
+        target = int(getattr(self.engine, "workers", 1))
+        while self._granted_slots < target:
+            self._worker_slots.release()
+            self._granted_slots += 1
+
     async def _batch_loop(self) -> None:
+        observe_load = getattr(self.engine, "observe_load", None)
         while True:
             # Reserve the worker slot first: while every worker is busy no
             # request is pulled, so the queue accumulates and the next batch
             # fills toward max_batch — batch size adapts to load.
+            if callable(observe_load):
+                observe_load(self._queue.qsize())
+                self._sync_worker_slots()
             await self._worker_slots.acquire()
             batch = await self._batcher.next_batch()
             if batch is None:
@@ -333,4 +352,8 @@ class InferenceService:
             "cache_enabled": self.cache is not None,
             "flip_prob": float(getattr(self.engine, "flip_prob", 0.0)),
         }
+        engine_snapshot = getattr(self.engine, "stats_snapshot", None)
+        if callable(engine_snapshot):
+            # Sharded engines report per-shard + merged compute accounting.
+            snapshot["engine"] = engine_snapshot()
         return snapshot

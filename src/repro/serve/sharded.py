@@ -1,0 +1,630 @@
+"""Multi-process sharded inference: per-process replicas behind one service.
+
+:class:`~repro.serve.engine.PipelineEngine` is a thread pool inside one
+Python process — replicas contend on the GIL everywhere numpy does not
+release it, so one process caps throughput regardless of core count.
+:class:`ShardedProcessEngine` is the scale-out tier behind the same
+:class:`~repro.serve.engine.EngineProtocol` seam: N worker *processes*,
+each owning a full pipeline replica built from a pickled
+:class:`~repro.serve.engine.ReplicaFactory`, fed over
+``multiprocessing.Pipe`` with pre-pickled NPZ frames (one ``send_bytes``
+per micro-batch — arrays never pass through the pickler object graph).
+
+Design points:
+
+* **dispatch threads, compute processes** — the engine's ``executor`` is a
+  small thread pool whose threads only serialise/route/deserialise; each
+  dispatch picks the least-loaded live shard, so the service's batch loop
+  is unchanged and micro-batches from one burst spread across shards.
+* **worker-death recovery** — dispatchers poll the worker while waiting,
+  so a SIGKILLed (or wedged past ``dispatch_timeout_s``) shard is detected
+  mid-request; the shard is respawned and the in-flight micro-batch
+  re-dispatched to a surviving shard.  Predictions are a pure function of
+  ``(images, indices)``, so a re-dispatch is bit-identical by
+  construction — the serve bit-identity guarantee survives crashes.
+* **queue-depth autoscaling** — the service reports its backlog through
+  :meth:`ShardedProcessEngine.observe_load`; sustained depth spawns spare
+  shards up to ``max_shards``, an idle queue retires them back to the
+  baseline.  The service re-syncs its worker slots against
+  ``engine.workers`` every batch, so new shards take traffic immediately.
+* **per-shard stats** — every shard keeps a
+  :class:`~repro.serve.stats.ServiceStats` of the micro-batches it served;
+  :meth:`stats_snapshot` reports them per shard plus the
+  :meth:`~repro.serve.stats.ServiceStats.merge`-d aggregate.
+
+Worker errors are deliberately *not* retried: a raising
+``predict_batch`` is deterministic (same batch would raise on every
+shard), so the error propagates to the request futures instead of
+cycling through — only process death and wedging re-dispatch.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import multiprocessing as mp
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.serve.engine import ReplicaFactory, pipeline_fingerprint
+from repro.serve.stats import ServiceStats
+
+__all__ = [
+    "ShardedProcessEngine",
+    "build_sharded_engine",
+    "pack_frame",
+    "unpack_frame",
+]
+
+
+# --------------------------------------------------------------------------
+# NPZ frames: the request/response wire format
+# --------------------------------------------------------------------------
+
+
+def pack_frame(op: str, arrays: Optional[Dict[str, np.ndarray]] = None, **meta: Any) -> bytes:
+    """One IPC frame: ``op`` + JSON metadata + named numpy arrays.
+
+    Serialised with ``np.savez`` into a single ``bytes`` blob sent via
+    ``Connection.send_bytes`` — the arrays are written as raw NPY payloads
+    (no pickle traversal), and the receiver gets them back C-contiguous
+    and typed without any per-element work.
+    """
+    header = json.dumps({"op": op, "meta": meta}).encode()
+    payload = {"__header__": np.frombuffer(header, dtype=np.uint8)}
+    for name, array in (arrays or {}).items():
+        payload[name] = np.ascontiguousarray(array)
+    buffer = io.BytesIO()
+    np.savez(buffer, **payload)
+    return buffer.getvalue()
+
+
+def unpack_frame(blob: bytes):
+    """Inverse of :func:`pack_frame` -> ``(op, arrays, meta)``."""
+    with np.load(io.BytesIO(blob), allow_pickle=False) as bundle:
+        header = json.loads(bundle["__header__"].tobytes().decode())
+        arrays = {name: bundle[name] for name in bundle.files if name != "__header__"}
+    return header["op"], arrays, header["meta"]
+
+
+# --------------------------------------------------------------------------
+# Worker process
+# --------------------------------------------------------------------------
+
+
+def _shard_main(conn, factory: ReplicaFactory) -> None:
+    """Worker-process loop: build one replica, serve predict frames until stop.
+
+    Runs in the child.  The replica is built *here* (not inherited), so
+    every shard's pipeline state is provably independent; bit-identity
+    across shards follows from :class:`ReplicaFactory` determinism.
+    """
+    try:
+        pipeline = factory()
+        conn.send_bytes(pack_frame("ready", pid=os.getpid()))
+        while True:
+            blob = conn.recv_bytes()
+            op, arrays, meta = unpack_frame(blob)
+            if op == "stop":
+                break
+            if op != "predict":  # protocol error: surface, keep serving
+                conn.send_bytes(pack_frame("error", job=meta.get("job"), error=f"unknown op {op!r}"))
+                continue
+            try:
+                predictions = pipeline.predict_batch(arrays["images"], arrays["indices"])
+                conn.send_bytes(
+                    pack_frame(
+                        "result",
+                        {"predictions": np.asarray(predictions, dtype=np.int64)},
+                        job=meta["job"],
+                    )
+                )
+            except Exception as exc:  # deterministic failure -> report, don't die
+                conn.send_bytes(
+                    pack_frame("error", job=meta["job"], error=f"{type(exc).__name__}: {exc}")
+                )
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass  # parent went away (or is tearing down); exit quietly
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class _ShardDied(RuntimeError):
+    """Internal: the target worker process died or wedged mid-dispatch."""
+
+
+class _Shard:
+    """Parent-side handle of one worker process."""
+
+    __slots__ = ("slot", "generation", "process", "conn", "lock", "stats", "in_flight", "dead", "ready", "retired")
+
+    def __init__(self, slot: int, generation: int, process, conn) -> None:
+        self.slot = slot
+        self.generation = generation
+        self.process = process
+        self.conn = conn
+        self.lock = threading.Lock()  # serialises use of `conn`
+        self.stats = ServiceStats()
+        self.in_flight = 0
+        self.dead = False
+        self.ready = False
+        self.retired = False
+
+    @property
+    def label(self) -> str:
+        return f"{self.slot}/gen{self.generation}"
+
+    def alive(self) -> bool:
+        return not self.dead and self.process.is_alive()
+
+
+# --------------------------------------------------------------------------
+# The engine
+# --------------------------------------------------------------------------
+
+
+class ShardedProcessEngine:
+    """N worker processes with per-process replicas, one engine surface.
+
+    Parameters
+    ----------
+    replica_factory:
+        Picklable :class:`~repro.serve.engine.ReplicaFactory`; each worker
+        process calls it once at startup to build its replica.
+    shards:
+        Baseline shard count (the autoscaler never goes below it).
+    max_shards:
+        Autoscale ceiling; defaults to ``shards`` (autoscaling off).
+    scale_up_queue_depth:
+        Queue depth reported via :meth:`observe_load` at which a spare
+        shard is spawned (subject to ``scale_cooldown_s``).
+    scale_cooldown_s:
+        Minimum seconds between scaling actions, so one burst does not
+        fork a shard per batch.
+    respawn:
+        Replace dead shards automatically (disable only in tests that
+        assert on death handling itself).
+    dispatch_timeout_s:
+        Per-micro-batch deadline after which a silent worker is treated as
+        wedged: killed, respawned, and the batch re-dispatched.
+    version / flip_prob / image_shape:
+        As :class:`~repro.serve.engine.PipelineEngine`; ``version`` is
+        computed from a probe replica (built in-parent) when omitted.
+    mp_context:
+        Start-method name; defaults to ``fork`` where available (same
+        policy as :mod:`repro.runner`) since replicas ship pickled either
+        way.
+    start_timeout_s:
+        Deadline for workers' ready handshake in :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        replica_factory: ReplicaFactory,
+        shards: int = 2,
+        max_shards: Optional[int] = None,
+        scale_up_queue_depth: int = 16,
+        scale_cooldown_s: float = 2.0,
+        respawn: bool = True,
+        dispatch_timeout_s: float = 120.0,
+        version: Optional[str] = None,
+        flip_prob: float = 0.0,
+        image_shape: Optional[tuple] = None,
+        mp_context: Optional[str] = None,
+        start_timeout_s: float = 120.0,
+    ) -> None:
+        if shards <= 0:
+            raise ValueError("shards must be positive")
+        if max_shards is not None and max_shards < shards:
+            raise ValueError(f"max_shards must be >= shards ({shards})")
+        if scale_up_queue_depth <= 0:
+            raise ValueError("scale_up_queue_depth must be positive")
+        self._factory = replica_factory
+        self.min_shards = int(shards)
+        self.max_shards = int(max_shards) if max_shards is not None else int(shards)
+        self.scale_up_queue_depth = int(scale_up_queue_depth)
+        self.scale_cooldown_s = float(scale_cooldown_s)
+        self.respawn = bool(respawn)
+        self.dispatch_timeout_s = float(dispatch_timeout_s)
+        self.start_timeout_s = float(start_timeout_s)
+        self.flip_prob = float(flip_prob)
+        self.image_shape = None if image_shape is None else tuple(image_shape)
+        self._mp_name = mp_context or ("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+        self._ctx = None
+        self.executor: Optional[ThreadPoolExecutor] = None
+        self._shards: Dict[int, _Shard] = {}
+        self._graveyard: List[_Shard] = []  # dead/retired handles, kept for stats
+        self._routing_lock = threading.Lock()
+        self._job_counter = 0
+        self._next_slot = 0
+        self._last_scale_at = 0.0
+        self._closed = False
+        self.deaths = 0
+        self.redispatches = 0
+        self.spawned = 0
+        self.retired_count = 0
+        if version is None:
+            probe = replica_factory()
+            version = pipeline_fingerprint(probe)
+            del probe
+        self.version = version
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def workers(self) -> int:
+        """Current routable shard count (the service sizes its slots on it)."""
+        with self._routing_lock:
+            live = sum(1 for s in self._shards.values() if s.alive() and not s.retired)
+        return max(1, live)
+
+    def start(self) -> None:
+        if self.executor is not None:
+            return
+        self._closed = False
+        self._ctx = mp.get_context(self._mp_name)
+        self.executor = ThreadPoolExecutor(
+            max_workers=self.max_shards, thread_name_prefix="repro-shard-dispatch"
+        )
+        with self._routing_lock:
+            for _ in range(self.min_shards):
+                self._spawn_locked()
+        deadline = time.monotonic() + self.start_timeout_s
+        for shard in list(self._shards.values()):
+            self._await_ready(shard, deadline)
+
+    def _spawn_locked(self) -> _Shard:
+        """Start one worker process (caller holds the routing lock)."""
+        slot = self._next_slot
+        self._next_slot += 1
+        generation = self.spawned
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_shard_main,
+            args=(child_conn, self._factory),
+            daemon=True,
+            name=f"repro-shard-{slot}",
+        )
+        process.start()
+        child_conn.close()
+        shard = _Shard(slot, generation, process, parent_conn)
+        shard.stats.start()
+        self._shards[slot] = shard
+        self.spawned += 1
+        return shard
+
+    def _await_ready(self, shard: _Shard, deadline: float) -> None:
+        """Block until ``shard`` handshakes (only used during start())."""
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RuntimeError(f"shard {shard.label} did not become ready in time")
+            if shard.conn.poll(min(remaining, 0.05)):
+                op, _, _ = unpack_frame(shard.conn.recv_bytes())
+                if op != "ready":
+                    raise RuntimeError(f"shard {shard.label} sent {op!r} before ready")
+                shard.ready = True
+                return
+            if not shard.process.is_alive():
+                raise RuntimeError(
+                    f"shard {shard.label} died during startup "
+                    f"(exitcode {shard.process.exitcode})"
+                )
+
+    def close(self) -> None:
+        if self.executor is None:
+            return
+        self._closed = True
+        # In-flight dispatches drain first (the service already awaited its
+        # batch tasks, but a direct engine user may not have).
+        self.executor.shutdown(wait=True)
+        self.executor = None
+        with self._routing_lock:
+            shards = list(self._shards.values()) + self._graveyard
+            self._shards.clear()
+        for shard in shards:
+            if shard.process.is_alive():
+                try:
+                    shard.conn.send_bytes(pack_frame("stop"))
+                except (BrokenPipeError, OSError):
+                    pass
+            shard.process.join(timeout=5.0)
+            if shard.process.is_alive():
+                shard.process.terminate()
+                shard.process.join(timeout=5.0)
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+
+    # --------------------------------------------------------------- routing
+    def _promote_ready_locked(self) -> None:
+        """Consume pending ready handshakes (non-blocking; lock held).
+
+        Only shards that have never been routable are polled here, so this
+        read cannot race a dispatcher: dispatchers touch a shard's pipe
+        only after ``ready`` flips, and it flips only under this lock.
+        """
+        for shard in self._shards.values():
+            if not shard.ready and not shard.dead and shard.conn.poll(0):
+                try:
+                    op, _, _ = unpack_frame(shard.conn.recv_bytes())
+                except (EOFError, OSError):
+                    shard.dead = True
+                    continue
+                if op == "ready":
+                    shard.ready = True
+
+    def _reap_locked(self) -> None:
+        """Bury shards that died while *idle* (lock held).
+
+        A shard that crashes mid-batch is handled by its dispatcher
+        (:meth:`_handle_death`); one that dies between batches has no
+        dispatcher watching it, so the routing path sweeps for corpses.
+        Shards with work in flight are left to their dispatcher — burying
+        here too would double-count the death.
+        """
+        for slot, shard in list(self._shards.items()):
+            if shard.dead or shard.retired or shard.in_flight > 0:
+                continue
+            if not shard.process.is_alive():
+                shard.dead = True
+                shard.stats.record_error()
+                self.deaths += 1
+                del self._shards[slot]
+                self._graveyard.append(shard)
+                if self.respawn and not self._closed:
+                    live = sum(1 for s in self._shards.values() if s.alive() and not s.retired)
+                    if live < self.min_shards:
+                        self._spawn_locked()
+
+    def _try_pick(self) -> Optional[_Shard]:
+        with self._routing_lock:
+            self._reap_locked()
+            self._promote_ready_locked()
+            candidates = [
+                s for s in self._shards.values() if s.ready and not s.retired and s.alive()
+            ]
+            if not candidates:
+                return None
+            shard = min(candidates, key=lambda s: (s.in_flight, s.slot))
+            shard.in_flight += 1
+            return shard
+
+    def _pick(self) -> _Shard:
+        """A live shard to dispatch to; respawns through total loss."""
+        deadline = time.monotonic() + self.start_timeout_s
+        while True:
+            shard = self._try_pick()
+            if shard is not None:
+                return shard
+            if self._closed:
+                raise RuntimeError("engine is closed")
+            if self.respawn:
+                with self._routing_lock:
+                    live = sum(1 for s in self._shards.values() if s.alive() and not s.retired)
+                    if live < self.min_shards:
+                        self._spawn_locked()
+            if time.monotonic() > deadline:
+                raise RuntimeError("no live shards available")
+            time.sleep(0.01)
+
+    def _handle_death(self, shard: _Shard, reason: str) -> None:
+        """Bury a dead/wedged shard and (optionally) respawn its slot."""
+        with self._routing_lock:
+            if self._shards.get(shard.slot) is not shard:
+                return  # already handled by a concurrent dispatcher
+            shard.dead = True
+            shard.stats.record_error()
+            self.deaths += 1
+            del self._shards[shard.slot]
+            self._graveyard.append(shard)
+            if self.respawn and not self._closed:
+                live = sum(1 for s in self._shards.values() if s.alive() and not s.retired)
+                if live < self.min_shards:
+                    self._spawn_locked()
+        # A wedged-but-alive process must die for real: its pipe may hold a
+        # half-written frame that would desync any future reader.
+        if shard.process.is_alive():
+            shard.process.terminate()
+
+    # ------------------------------------------------------------- execution
+    def run(self, images: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Predict one micro-batch (called on a dispatcher thread).
+
+        Retries across shards on worker death; a batch fails only if every
+        respawn attempt is exhausted or the workers raise deterministically.
+        """
+        last_reason = "no shards"
+        for _ in range(self.max_shards + 2):
+            shard = self._pick()
+            try:
+                return self._dispatch(shard, images, indices)
+            except _ShardDied as exc:
+                last_reason = str(exc)
+                self._handle_death(shard, last_reason)
+                self.redispatches += 1
+            finally:
+                with self._routing_lock:
+                    shard.in_flight -= 1
+        raise RuntimeError(f"micro-batch failed after repeated shard deaths: {last_reason}")
+
+    def _dispatch(self, shard: _Shard, images: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        with self._routing_lock:
+            self._job_counter += 1
+            job = self._job_counter
+        started = time.monotonic()
+        deadline = started + self.dispatch_timeout_s
+        with shard.lock:
+            shard.stats.record_submitted()
+            try:
+                shard.conn.send_bytes(
+                    pack_frame(
+                        "predict",
+                        {
+                            "images": np.asarray(images, dtype=float),
+                            "indices": np.asarray(indices, dtype=np.int64),
+                        },
+                        job=job,
+                    )
+                )
+                # Poll in slices so a SIGKILLed worker is noticed in ~50ms
+                # instead of hanging the dispatcher on a dead pipe.
+                while not shard.conn.poll(0.05):
+                    if not shard.process.is_alive():
+                        raise _ShardDied(f"shard {shard.label} died mid-batch")
+                    if time.monotonic() > deadline:
+                        raise _ShardDied(
+                            f"shard {shard.label} silent for {self.dispatch_timeout_s:g}s; presumed wedged"
+                        )
+                blob = shard.conn.recv_bytes()
+            except (BrokenPipeError, EOFError, OSError) as exc:
+                raise _ShardDied(f"shard {shard.label} pipe failed: {exc}") from None
+            try:
+                op, arrays, meta = unpack_frame(blob)
+            except Exception as exc:  # truncated frame from a dying worker
+                raise _ShardDied(f"shard {shard.label} sent a corrupt frame: {exc}") from None
+            if meta.get("job") != job:
+                raise _ShardDied(f"shard {shard.label} desynced (job {meta.get('job')} != {job})")
+            if op == "error":
+                shard.stats.record_error()
+                raise RuntimeError(f"shard {shard.label}: {meta.get('error')}")
+            latency_ms = (time.monotonic() - started) * 1000.0
+            shard.stats.record_batch(int(len(indices)))
+            shard.stats.record_completed(latency_ms)
+            return arrays["predictions"].astype(np.int64)
+
+    # ------------------------------------------------------------ autoscaling
+    def observe_load(self, queue_depth: int) -> None:
+        """Scale the shard set against the service's reported backlog.
+
+        Called by the service's batch loop.  Sustained depth at or above
+        ``scale_up_queue_depth`` spawns one spare shard (bounded by
+        ``max_shards``); an empty queue retires one spare (never below
+        ``min_shards``).  Both actions rate-limit on ``scale_cooldown_s``.
+        A freshly spawned shard handshakes asynchronously and joins the
+        routable set on its first ``_try_pick`` after ready.
+        """
+        if self.executor is None or self._closed or self.max_shards <= self.min_shards:
+            return
+        now = time.monotonic()
+        if now - self._last_scale_at < self.scale_cooldown_s:
+            return
+        with self._routing_lock:
+            present = [s for s in self._shards.values() if not s.retired and not s.dead]
+            if queue_depth >= self.scale_up_queue_depth and len(present) < self.max_shards:
+                self._spawn_locked()
+                self._last_scale_at = now
+                return
+            if queue_depth == 0 and len(present) > self.min_shards:
+                idle = [s for s in present if s.ready and s.in_flight == 0]
+                if len(idle) > self.min_shards:
+                    shard = max(idle, key=lambda s: s.slot)  # newest spare first
+                    shard.retired = True
+                    self.retired_count += 1
+                    del self._shards[shard.slot]
+                    self._graveyard.append(shard)
+                    if shard.lock.acquire(blocking=False):
+                        try:
+                            shard.conn.send_bytes(pack_frame("stop"))
+                        except (BrokenPipeError, OSError):
+                            pass
+                        finally:
+                            shard.lock.release()
+                    self._last_scale_at = now
+
+    # --------------------------------------------------------------- chaos/testing
+    def kill_shard(self, slot: Optional[int] = None) -> Optional[int]:
+        """SIGKILL one worker process (fault-injection hook for tests).
+
+        ``slot=None`` kills the busiest live shard.  Returns the killed
+        slot, or ``None`` if nothing was killable.  Recovery is the
+        production path: the next dispatch to the corpse re-dispatches and
+        respawns.
+        """
+        with self._routing_lock:
+            candidates = [s for s in self._shards.values() if s.alive() and not s.retired]
+            if not candidates:
+                return None
+            if slot is None:
+                shard = max(candidates, key=lambda s: (s.in_flight, -s.slot))
+            else:
+                matches = [s for s in candidates if s.slot == slot]
+                if not matches:
+                    return None
+                shard = matches[0]
+        shard.process.kill()
+        shard.process.join(timeout=5.0)
+        return shard.slot
+
+    # ------------------------------------------------------------------ stats
+    def stats_snapshot(self) -> Dict:
+        """Per-shard and merged accounting (folded into ``/stats``)."""
+        with self._routing_lock:
+            current = sorted(self._shards.values(), key=lambda s: s.slot)
+            buried = list(self._graveyard)
+        everything = current + buried
+        merged = ServiceStats.merge([s.stats for s in everything]) if everything else ServiceStats()
+        return {
+            "engine": "process",
+            "per_shard": {
+                s.label: s.stats.snapshot(in_flight=s.in_flight) for s in current
+            },
+            "merged": merged.snapshot(),
+            "lifecycle": {
+                "live": len(current),
+                "min_shards": self.min_shards,
+                "max_shards": self.max_shards,
+                "spawned": self.spawned,
+                "deaths": self.deaths,
+                "redispatches": self.redispatches,
+                "retired": self.retired_count,
+            },
+        }
+
+
+def build_sharded_engine(
+    model: Any,
+    softmax_config: Any,
+    gelu_output_bsl: Optional[int] = None,
+    flip_prob: float = 0.0,
+    fault_seed: int = 0,
+    calibration_logits: Optional[np.ndarray] = None,
+    shards: int = 2,
+    max_shards: Optional[int] = None,
+    scale_up_queue_depth: int = 16,
+    backend: Optional[str] = None,
+    **engine_kwargs: Any,
+) -> ShardedProcessEngine:
+    """Sharded engine over ``model``; mirror of :func:`~repro.serve.engine.build_engine`.
+
+    .. deprecated::
+        Like ``build_engine``, kept as a keyword shim — prefer a
+        :class:`~repro.serve.specs.ServeSpec` with ``engine="process"``
+        through :func:`repro.serve.deploy.build_deployment`.
+    """
+    factory = ReplicaFactory(
+        model=model,
+        softmax_config=softmax_config,
+        gelu_output_bsl=gelu_output_bsl,
+        flip_prob=flip_prob,
+        fault_seed=fault_seed,
+        calibration_logits=calibration_logits,
+        backend=backend,
+    )
+    return ShardedProcessEngine(
+        factory,
+        shards=shards,
+        max_shards=max_shards,
+        scale_up_queue_depth=scale_up_queue_depth,
+        flip_prob=flip_prob,
+        image_shape=factory.image_shape(),
+        **engine_kwargs,
+    )

@@ -69,11 +69,18 @@ class TestExperimentSpec:
     def test_example_specs_are_valid(self):
         from pathlib import Path
 
+        from repro.serve.specs import ServeSpec
+
         specs_dir = Path(__file__).resolve().parent.parent / "examples" / "specs"
         paths = sorted(specs_dir.glob("*.json"))
         assert paths, "examples/specs/ should ship experiment files"
         parser = build_parser()
         for path in paths:
+            # `repro run` routes on the same sniff: serve/deployment files
+            # go to ServeSpec, everything else to ExperimentSpec.
+            if ServeSpec.sniff(json.loads(path.read_text())):
+                ServeSpec.from_file(path)
+                continue
             spec = ExperimentSpec.from_file(path)
             spec.validate_options(parser)
             # The synthesized argv parses cleanly against the real CLI.

@@ -3,7 +3,7 @@
 PYTEST = PYTHONPATH=src python -m pytest
 REPRO = PYTHONPATH=src python -m repro
 
-.PHONY: test test-fast test-cov bench bench-check bench-serve serve-smoke lint smoke eval-smoke api-check api-snapshot
+.PHONY: test test-fast test-cov bench bench-check bench-serve serve-smoke scenario-smoke lint smoke eval-smoke api-check api-snapshot
 
 ## Tier-1 verification: the full suite, fail-fast.
 test:
@@ -37,6 +37,12 @@ bench-serve:
 ## run through both engine families (thread + 2-shard process).
 serve-smoke:
 	PYTHONPATH=src python benchmarks/bench_serve_latency.py --smoke --engine both
+
+## Scenario gate: the CI smoke scenarios on both engine families (every
+## assertion — bit-identity, SLOs, recovery — must pass).
+scenario-smoke:
+	$(REPRO) scenario examples/specs/scenario_poisson_slo.json examples/specs/scenario_flashcrowd_kill.json examples/specs/scenario_burst_cacheloss.json --engine thread --cache-dir .repro-cache
+	$(REPRO) scenario examples/specs/scenario_poisson_slo.json examples/specs/scenario_flashcrowd_kill.json examples/specs/scenario_burst_cacheloss.json --engine process --cache-dir .repro-cache
 
 ## Lint (ruff config lives in pyproject.toml).  Falls back to a syntax
 ## check when ruff is not installed locally; CI always installs ruff.

@@ -16,6 +16,13 @@ in the two canonical load shapes:
   :class:`~repro.serve.ShardedProcessEngine` at 1 and 2 shards, recording
   per-shard :class:`~repro.serve.ServiceStats` (merged across shards) and
   the ``scaling_2x`` throughput ratio.
+* **trace replay** (``--replay``) — paced replay of a scenario workload
+  through :func:`repro.scenarios.generate_workload`: any synthetic arrival
+  process (``--arrival poisson|pareto|flashcrowd|diurnal``) expanded
+  deterministically from ``--seed``, or a recorded ``serve/trace`` file
+  (``--trace``).  ``--record-trace`` saves the generated stream for exact
+  replay elsewhere.  An opt-in shape: it does not alter the gated payload
+  or its floors.
 
 Results go to ``benchmarks/results/BENCH_serve.json`` together with the
 regression bounds: a sustained-throughput floor (the acceptance criterion:
@@ -255,6 +262,88 @@ async def sharded_scaling() -> dict:
     return section
 
 
+async def replay_loop(service: InferenceService, images: np.ndarray, workload) -> dict:
+    """Paced replay of a :class:`repro.scenarios.Workload` request stream.
+
+    Like :func:`open_loop` but the schedule and per-request image choice
+    come from the workload (recorded or generated), so any arrival shape
+    the scenario layer can describe is measurable here too.
+    """
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    results: list = []
+
+    async def fire(position: int) -> None:
+        delay = start + float(workload.arrivals_s[position]) - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        pool_index = int(workload.image_indices[position]) % images.shape[0]
+        results.append(await service.submit(images[pool_index], index=pool_index))
+
+    wall_start = time.perf_counter()
+    await asyncio.gather(*[fire(position) for position in range(len(workload))])
+    elapsed = time.perf_counter() - wall_start
+    return {
+        "requests": int(len(workload)),
+        "trace_duration_s": float(workload.duration_s),
+        "seconds": elapsed,
+        "throughput_img_per_s": len(workload) / elapsed,
+        **_latency_summary([result.latency_ms for result in results]),
+    }
+
+
+def run_replay(args) -> int:
+    """The ``--replay`` entry point: one paced run over a scenario workload."""
+    from repro.scenarios import WorkloadSpec, generate_workload, load_trace, save_trace, workload_digest
+
+    if args.trace is not None:
+        workload = load_trace(args.trace)
+        source = f"trace {args.trace}"
+    else:
+        spec = WorkloadSpec(
+            arrival=args.arrival, requests=args.requests, rate=args.rate,
+            seed=args.seed, image_pool=REPLAY_POOL,
+        )
+        workload = generate_workload(spec)
+        source = f"{args.arrival} (seed {args.seed})"
+    if args.record_trace is not None:
+        saved = save_trace(args.record_trace, workload)
+        print(f"recorded trace {saved} ({len(workload)} requests)")
+
+    async def measure() -> dict:
+        _, _, _, service = _build(cached=False)
+        async with service:
+            return await replay_loop(service, _images(REPLAY_POOL), workload)
+
+    section = asyncio.run(measure())
+    section["source"] = source
+    section["workload_digest"] = workload_digest(workload)
+    print(f"\n=== trace replay: {source} ===")
+    print(format_table(
+        ["Requests", "Trace (s)", "Wall (s)", "img/s", "p50 (ms)", "p95 (ms)", "p99 (ms)"],
+        [(
+            section["requests"],
+            round(section["trace_duration_s"], 2),
+            round(section["seconds"], 2),
+            round(section["throughput_img_per_s"], 1),
+            round(section["p50_ms"], 2),
+            round(section["p95_ms"], 2),
+            round(section["p99_ms"], 2),
+        )],
+    ))
+    print(f"workload digest {section['workload_digest'][:16]}… (byte-stable for a fixed seed)")
+    if args.out is not None:
+        Path(args.out).write_text(json.dumps(section, indent=2, sort_keys=True))
+        print(f"wrote {args.out}")
+    return 0
+
+
+#: Image-pool size the replay shape cycles over (indices come from the
+#: workload, so a pool — unlike the bench shapes' distinct-image sets —
+#: is the honest model: traces revisit images).
+REPLAY_POOL = 64
+
+
 # ---------------------------------------------------------------------------
 # Harness entry points (also loaded by `repro bench --suite serve`)
 # ---------------------------------------------------------------------------
@@ -421,10 +510,32 @@ def main(argv=None) -> int:
         help="engine family the smoke gate drives (process = 2 shards); "
              "'both' runs the gate once per family",
     )
+    parser.add_argument(
+        "--replay", action="store_true",
+        help="trace-replay shape: pace requests per a scenario workload instead of the bench shapes",
+    )
+    parser.add_argument(
+        "--arrival", choices=["poisson", "pareto", "flashcrowd", "diurnal"],
+        default="poisson", help="synthetic arrival process for --replay",
+    )
+    parser.add_argument("--requests", type=int, default=256, help="replay request count")
+    parser.add_argument("--rate", type=float, default=200.0, help="replay mean offered rate (req/s)")
+    parser.add_argument("--seed", type=int, default=2024, help="replay workload seed")
+    parser.add_argument(
+        "--trace", type=Path, default=None,
+        help="replay a recorded serve/trace JSON file instead of generating",
+    )
+    parser.add_argument(
+        "--record-trace", type=Path, default=None,
+        help="save the replayed workload as a serve/trace file",
+    )
+    parser.add_argument("--out", type=Path, default=None, help="write the replay section as JSON")
     args = parser.parse_args(argv)
     if args.smoke:
         engines = ["thread", "process"] if args.engine == "both" else [args.engine]
         return max(run_smoke(engine=engine) for engine in engines)
+    if args.replay:
+        return run_replay(args)
     payload = run_benchmarks()
     print_report(payload)
     saved = save_report(payload)

@@ -15,9 +15,15 @@ against the serial path (``--workers 1``):
   over a micro-batching, result-cached SC-ViT engine — in-process thread
   pool or sharded worker processes, described declaratively by a
   :class:`repro.serve.ServeSpec` file (``--spec deployment.json``),
-* ``run``        — execute declarative experiment files
-  (:class:`repro.blocks.ExperimentSpec` or ``serve/deployment`` JSON;
-  see ``examples/specs/``),
+* ``run``        — execute declarative spec files
+  (:class:`repro.blocks.ExperimentSpec`, ``serve/deployment`` or
+  ``serve/scenario`` JSON, routed by their ``kind`` tag; see
+  ``examples/specs/``),
+* ``scenario``   — declarative resilience scenarios (:mod:`repro.scenarios`):
+  replay a deterministic or recorded request stream against a deployment
+  while firing timed degradations (shard kills, cache loss, fault storms,
+  queue bursts) and judging declarative assertions (bit-identity vs
+  offline eval, SLO ceilings, recovery deadlines),
 * ``blocks``     — list the registered circuit-block families
   (:mod:`repro.blocks`), their encodings, parameter schemas and hardware
   cost, or regenerate the Table I capability matrix,
@@ -404,8 +410,44 @@ def _verify_batched_against_per_image(task, config, batched_result) -> int:
 
 
 # ---------------------------------------------------------------------------
-# run — declarative experiment files (repro.blocks.ExperimentSpec)
+# run — declarative spec files (experiments, deployments, scenarios)
 # ---------------------------------------------------------------------------
+
+
+def _load_serve_run_spec(path: Path, payload: dict) -> Any:
+    from repro.serve.specs import ServeSpec
+
+    return ServeSpec.from_dict(payload)
+
+
+def _serve_run_argv(path: Path, spec: Any, overrides: dict) -> List[str]:
+    return ["serve", "--spec", str(path)]
+
+
+def _load_scenario_run_spec(path: Path, payload: dict) -> Any:
+    from repro.scenarios import ScenarioSpec
+
+    return ScenarioSpec.from_dict(payload)
+
+
+def _scenario_run_argv(path: Path, spec: Any, overrides: dict) -> List[str]:
+    argv = ["scenario", str(path)]
+    if overrides.get("cache_dir") is not None:
+        argv += ["--cache-dir", str(overrides["cache_dir"])]
+    if overrides.get("out") is not None:
+        argv += ["--out", str(overrides["out"])]
+    if overrides.get("quiet"):
+        argv.append("--quiet")
+    return argv
+
+
+#: The ``repro run`` sniff table: JSON ``kind`` tag -> (loader, argv builder).
+#: Adding a fourth kind is one entry here, not another if/elif chain; files
+#: without a ``kind`` tag are classic :class:`ExperimentSpec` documents.
+RUN_SPEC_KINDS = {
+    "serve/deployment": (_load_serve_run_spec, _serve_run_argv),
+    "serve/scenario": (_load_scenario_run_spec, _scenario_run_argv),
+}
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -429,23 +471,30 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     parser = build_parser()
     # Load and validate every spec before running any: a typo in the third
-    # file should not surface after an hour of sweeping the first two.
-    # Deployment files (kind == "serve/deployment") route to the serving
-    # path; everything else is an ExperimentSpec.
-    from repro.serve.specs import ServeSpec
-
-    specs: List[Any] = []
+    # file should not surface after an hour of sweeping the first two.  The
+    # kind tag routes through RUN_SPEC_KINDS; untagged files are
+    # ExperimentSpec documents, and an unknown tag is an explicit error
+    # (silently treating it as an experiment would bury the typo).
+    entries: List[Any] = []  # (spec, argv_builder or None)
     try:
         for path in args.spec:
             payload = json.loads(Path(path).read_text())
-            if ServeSpec.sniff(payload):
-                specs.append(ServeSpec.from_dict(payload))
+            kind = payload.get("kind") if isinstance(payload, dict) else None
+            if kind in RUN_SPEC_KINDS:
+                loader, argv_builder = RUN_SPEC_KINDS[kind]
+                entries.append((loader(path, payload), argv_builder))
+            elif kind is not None:
+                known = ", ".join(sorted(RUN_SPEC_KINDS))
+                raise ValueError(
+                    f"{path}: unknown spec kind {kind!r}; expected one of "
+                    f"{known}, or an experiment spec without a kind tag"
+                )
             else:
-                specs.append(ExperimentSpec.from_file(path))
+                entries.append((ExperimentSpec.from_file(path), None))
     except (OSError, ValueError) as exc:
         raise SystemExit(str(exc)) from exc
-    for path, spec in zip(args.spec, specs):
-        if isinstance(spec, ServeSpec):
+    for path, (spec, argv_builder) in zip(args.spec, entries):
+        if argv_builder is not None:
             continue
         try:
             spec.validate_options(parser)
@@ -453,9 +502,9 @@ def cmd_run(args: argparse.Namespace) -> int:
             raise SystemExit(f"{path}: {exc}") from exc
 
     exit_code = 0
-    for path, spec in zip(args.spec, specs):
-        if isinstance(spec, ServeSpec):
-            argv = ["serve", "--spec", str(path)]
+    for path, (spec, argv_builder) in zip(args.spec, entries):
+        if argv_builder is not None:
+            argv = argv_builder(path, spec, overrides)
         else:
             argv = spec.to_argv(overrides)
         print(f"== {spec.name or getattr(spec, 'task', 'serve')} ({path}) ==")
@@ -465,6 +514,192 @@ def cmd_run(args: argparse.Namespace) -> int:
         run_args = parser.parse_args(argv)
         exit_code |= int(run_args.func(run_args) or 0)
     return exit_code
+
+
+# ---------------------------------------------------------------------------
+# scenario — declarative resilience scenarios over the serving tier
+# ---------------------------------------------------------------------------
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.runner.runner import ParallelSweepRunner
+    from repro.runner.tasks import ScenarioTask
+    from repro.scenarios import ScenarioSpec
+
+    specs = []
+    try:
+        for path in args.spec:
+            spec = ScenarioSpec.from_file(path)
+            if args.engine is not None and args.engine != spec.deployment.engine:
+                # An explicit engine override is a different deployment and
+                # therefore a different cache identity — exactly right: the
+                # CI matrix runs the same scenario file per engine family.
+                spec = spec.with_updates(
+                    deployment=spec.deployment.with_updates(engine=args.engine)
+                )
+            specs.append(spec)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(str(exc)) from exc
+
+    cache = _make_cache(args)
+    results = []
+    evaluated = cache_hits = 0
+    exit_code = 0
+    for path, spec in zip(args.spec, specs):
+        label = spec.name or Path(path).stem
+        print(f"== scenario {label} ({path}) ==")
+        if spec.description:
+            print(spec.description)
+        # Scenarios drive a whole service (often multi-process) each, so
+        # the sweep runs serially; the runner still provides the shared
+        # content-addressed cache and its hit accounting.
+        runner = ParallelSweepRunner(
+            ScenarioTask(base_dir=str(Path(path).parent)),
+            workers=1,
+            cache=cache,
+            reporter=_make_reporter(args, f"scenario {label}"),
+        )
+        result = runner.run([spec.to_dict()])[0]
+        evaluated += runner.stats.evaluated
+        cache_hits += runner.stats.cache_hits
+        results.append(result)
+        _print_scenario_result(result, cached=runner.stats.cache_hits > 0)
+        if not result["ok"]:
+            exit_code = 1
+    _write_scenario_job_summary(results)
+    _write_json(
+        args.out,
+        {
+            "scenarios": results,
+            "stats": {"evaluated": evaluated, "cache_hits": cache_hits},
+        },
+    )
+    return exit_code
+
+
+def _print_scenario_result(result: dict, cached: bool = False) -> None:
+    requests = result["requests"]
+    latency = result["latency"]
+    source = " (cached result)" if cached else ""
+    print(
+        f"{result['workload']['arrival']} x{result['workload']['requests']}: "
+        f"{requests['completed']} completed, {requests['rejected']} rejected, "
+        f"{requests['timeouts']} timeouts, {requests['errors']} errors in "
+        f"{result['elapsed_s']:.2f}s ({result['throughput_per_s']:.1f} req/s){source}"
+    )
+    if latency["p99_ms"] is not None:
+        print(
+            f"latency p50/p95/p99: {latency['p50_ms']:.2f}/"
+            f"{latency['p95_ms']:.2f}/{latency['p99_ms']:.2f} ms"
+        )
+    rows = [
+        (
+            v["check"],
+            "-" if v["value"] is None else f"{v['value']:g}",
+            "-" if v["measured"] is None else f"{v['measured']:.2f}",
+            "pass" if v["passed"] else "FAIL",
+        )
+        for v in result["assertions"]
+    ]
+    _print_table("assertions", ["check", "bound", "measured", "status"], rows)
+    verdict = "PASS" if result["ok"] else "FAIL"
+    print(f"scenario {result['name'] or '<unnamed>'}: {verdict}")
+
+
+def _write_scenario_job_summary(results: Sequence[dict]) -> None:
+    """One job-summary section per scenario: verdicts + the stats timeline."""
+    import os
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path or not results:
+        return
+    from repro.evaluation.reporting import format_markdown_table
+
+    with open(summary_path, "a") as handle:
+        for result in results:
+            verdict = "all assertions pass" if result["ok"] else "ASSERTIONS FAILED"
+            handle.write(f"### Scenario `{result['name'] or 'unnamed'}` — {verdict}\n\n")
+            requests = result["requests"]
+            handle.write(
+                f"- {result['workload']['arrival']} arrivals x"
+                f"{result['workload']['requests']}: {requests['completed']} completed, "
+                f"{requests['rejected']} rejected, {requests['timeouts']} timeouts, "
+                f"{requests['errors']} errors, {requests['bit_mismatches']} bit mismatches\n"
+            )
+            if result["deaths"] or result["recoveries_ms"]:
+                recoveries = ", ".join(
+                    "never" if r is None else f"{r:.0f}ms" for r in result["recoveries_ms"]
+                )
+                handle.write(
+                    f"- deaths: {result['deaths']}, recoveries: {recoveries or 'n/a'}, "
+                    f"autoscale actions: {result['scale_actions']}\n"
+                )
+            handle.write("\n")
+            assertion_rows = [
+                (
+                    v["check"],
+                    "-" if v["value"] is None else f"{v['value']:g}",
+                    "-" if v["measured"] is None else f"{v['measured']:.2f}",
+                    "pass" if v["passed"] else "**FAIL**",
+                )
+                for v in result["assertions"]
+            ]
+            handle.write(
+                format_markdown_table(
+                    ["check", "bound", "measured", "status"], assertion_rows
+                )
+            )
+            handle.write("\n\n")
+            timeline_rows = [
+                (
+                    entry["label"],
+                    entry["at_request"],
+                    f"{entry['t_s']:.2f}",
+                    entry["completed"],
+                    entry["rejected"],
+                    entry["timeouts"],
+                    entry["queue_depth"],
+                    "-" if entry["p99_ms"] is None else f"{entry['p99_ms']:.1f}",
+                )
+                for entry in result["timeline"]
+            ]
+            handle.write(
+                format_markdown_table(
+                    ["phase", "at req", "t (s)", "completed", "rejected",
+                     "timeouts", "queue", "p99 (ms)"],
+                    timeline_rows,
+                )
+            )
+            handle.write("\n\n")
+            per_shard = result.get("final_stats", {}).get("engine", {})
+            if isinstance(per_shard, dict) and "per_shard" in per_shard:
+                shard_rows = [
+                    (
+                        shard,
+                        snap["requests"]["completed"],
+                        snap["batching"]["batches"],
+                        "-" if snap["latency"]["p99_ms"] is None
+                        else f"{snap['latency']['p99_ms']:.1f}",
+                    )
+                    for shard, snap in sorted(per_shard["per_shard"].items())
+                ]
+                merged = per_shard.get("merged")
+                if merged:
+                    shard_rows.append(
+                        (
+                            "merged",
+                            merged["requests"]["completed"],
+                            merged["batching"]["batches"],
+                            "-" if merged["latency"]["p99_ms"] is None
+                            else f"{merged['latency']['p99_ms']:.1f}",
+                        )
+                    )
+                handle.write(
+                    format_markdown_table(
+                        ["shard", "completed", "batches", "p99 (ms)"], shard_rows
+                    )
+                )
+                handle.write("\n\n")
 
 
 # ---------------------------------------------------------------------------
@@ -1232,6 +1467,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--out", type=Path, default=None, help="override the specs' JSON output path")
     p_run.add_argument("--quiet", action="store_true", help="suppress progress output")
     p_run.set_defaults(func=cmd_run)
+
+    p_scenario = sub.add_parser("scenario", help="declarative resilience scenarios over the serving tier")
+    p_scenario.add_argument("spec", nargs="+", type=Path, help="scenario spec file(s) (serve/scenario JSON); see examples/specs/scenario_*.json")
+    p_scenario.add_argument("--engine", choices=["thread", "process"], default=None, help="override the scenarios' engine family (a different engine is a different deployment and cache identity; the CI matrix runs each scenario per family)")
+    p_scenario.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR, help=f"scenario-result cache directory (default: {DEFAULT_CACHE_DIR})")
+    p_scenario.add_argument("--no-cache", action="store_true", help="disable the result cache (always drive the service fresh)")
+    p_scenario.add_argument("--out", type=Path, default=None, help="write all scenario results as JSON to this path")
+    p_scenario.add_argument("--quiet", action="store_true", help="suppress progress output")
+    p_scenario.set_defaults(func=cmd_scenario)
 
     p_serve = sub.add_parser("serve", help="async dynamic-batching inference service")
     p_serve.add_argument("--spec", type=Path, default=None, help="deployment spec JSON (serve/deployment); overrides every other flag — the file is the complete deployment description")

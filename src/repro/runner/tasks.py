@@ -30,6 +30,7 @@ from repro.runner.cache import array_digest
 from repro.runner.runner import ParallelSweepRunner, SweepTask
 
 __all__ = [
+    "ScenarioTask",
     "SoftmaxDesignTask",
     "GeluSweepTask",
     "Table4Task",
@@ -373,3 +374,43 @@ class Table6Task(SweepTask):
 
     def decode(self, payload: Dict[str, Any], arrays: Optional[dict] = None) -> Dict[str, float]:
         return {k: float(v) for k, v in payload.items()}
+
+
+# ---------------------------------------------------------------------------
+# Serving-tier resilience scenarios (repro.scenarios).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScenarioTask(SweepTask):
+    """Run one ``serve/scenario`` spec through the sweep orchestrator.
+
+    The config is the scenario's *canonical dict* (``ScenarioSpec.to_dict``
+    — every field expanded), which doubles as the content-addressed cache
+    identity: two invocations of the same scenario file hit the same cache
+    entry, and any edit to the deployment, workload, events or assertions
+    re-runs.  The result payload is already JSON-able (the runner's output
+    dict), so the default ``encode``/``decode`` pair is lossless.
+
+    Latencies and the stats timeline are wall-clock measurements, so a
+    cached result replays the *original* run's observations — exactly the
+    sweep-cache semantics (a cached DSE row also replays its original
+    evaluation).  Pass ``--no-cache`` to force a fresh drive.
+    """
+
+    #: Directory relative ``trace_path`` entries resolve against.
+    base_dir: Optional[str] = None
+
+    name = "scenario"
+
+    def config_key(self, config: Dict[str, Any]) -> Dict[str, Any]:
+        return dict(config)
+
+    def evaluate(self, config: Dict[str, Any], seed: int) -> Dict[str, Any]:
+        # Deterministic in everything the assertions judge except wall-clock
+        # latencies; the derived sweep seed is unused (the workload carries
+        # its own seeds in the spec).
+        from repro.scenarios import ScenarioRunner, ScenarioSpec
+
+        spec = ScenarioSpec.from_dict(config)
+        return ScenarioRunner(spec, base_dir=self.base_dir).run()

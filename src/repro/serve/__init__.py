@@ -50,7 +50,7 @@ from repro.serve.cache import (
     ShardedPredictionCache,
     request_fingerprint,
 )
-from repro.serve.deploy import Deployment, build_deployment
+from repro.serve.deploy import Deployment, build_deployment, build_replica_factory
 from repro.serve.engine import (
     EngineProtocol,
     PipelineEngine,
@@ -88,6 +88,7 @@ __all__ = [
     "ShardedPredictionCache",
     "ShardedProcessEngine",
     "build_deployment",
+    "build_replica_factory",
     "build_engine",
     "build_sharded_engine",
     "handle_message",

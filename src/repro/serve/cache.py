@@ -98,6 +98,18 @@ class PredictionCache:
         if self.backing is not None:
             self.backing.store(key, {"prediction": int(prediction)})
 
+    def clear(self, drop_backing: bool = False) -> None:
+        """Forget every in-memory entry; optionally detach the disk backing.
+
+        ``drop_backing=True`` is the scenario layer's ``cache_loss``
+        degradation: the cache behaves as if its disk vanished — it
+        detaches the :class:`ResultCache` handle rather than deleting the
+        directory (which other processes may share).
+        """
+        self._memory.clear()
+        if drop_backing:
+            self.backing = None
+
     def _remember(self, key: str, prediction: int) -> None:
         self._memory[key] = prediction
         self._memory.move_to_end(key)
@@ -243,6 +255,13 @@ class ShardedPredictionCache:
 
     def put(self, key: str, prediction: int) -> None:
         self._partitions[self.shard_for(key)].put(key, prediction)
+
+    def clear(self, drop_backing: bool = False) -> None:
+        """Clear every partition (see :meth:`PredictionCache.clear`)."""
+        for cache in self._partitions.values():
+            cache.clear(drop_backing=drop_backing)
+        if drop_backing:
+            self.backing = None
 
     def partition_sizes(self) -> Dict[int, int]:
         """Entries held per partition (the balance a /stats reader checks)."""

@@ -21,7 +21,7 @@ from repro.serve.engine import PipelineEngine, ReplicaFactory
 from repro.serve.service import InferenceService
 from repro.serve.specs import ServeSpec
 
-__all__ = ["Deployment", "build_deployment", "build_model"]
+__all__ = ["Deployment", "build_deployment", "build_model", "build_replica_factory"]
 
 
 class Deployment:
@@ -85,15 +85,14 @@ def build_model(spec: ServeSpec) -> Tuple[Any, Any, int]:
     return model, train, num_classes
 
 
-def build_deployment(spec: ServeSpec, code_version: Optional[str] = None) -> "Deployment":
-    """Everything between a :class:`ServeSpec` and a startable service.
+def build_replica_factory(spec: ServeSpec) -> ReplicaFactory:
+    """The spec's :class:`~repro.serve.engine.ReplicaFactory`, fully resolved.
 
-    Builds the model and calibration logits, resolves the engine family
-    (``thread`` -> :class:`~repro.serve.engine.PipelineEngine`,
-    ``process`` -> :class:`~repro.serve.sharded.ShardedProcessEngine`
-    with consistent-hash sharded caching), honors the spec's ``backend``
-    field (threaded through every replica's forwards via
-    :func:`repro.sc.backends.use_backend`), and wires the cache policy.
+    Builds the model and calibration logits and packages them as the
+    picklable replica recipe both engine families construct workers from.
+    Exposed separately from :func:`build_deployment` because the scenario
+    layer's ``bit_identity`` assertion needs the *same* recipe to build an
+    offline reference pipeline after the service under test has closed.
     """
     from repro.blocks.specs import SoftmaxCircuitConfig, calibrate_alpha_y
     from repro.evaluation.vectors import collect_softmax_inputs
@@ -122,7 +121,7 @@ def build_deployment(spec: ServeSpec, code_version: Optional[str] = None) -> "De
     calibration = collect_softmax_inputs(
         model, train.images[: spec.calibration_images], max_rows=512
     )
-    factory = ReplicaFactory(
+    return ReplicaFactory(
         model=model,
         softmax_config=softmax,
         gelu_output_bsl=spec.gelu_bsl,
@@ -131,6 +130,19 @@ def build_deployment(spec: ServeSpec, code_version: Optional[str] = None) -> "De
         calibration_logits=calibration,
         backend=spec.backend,
     )
+
+
+def build_deployment(spec: ServeSpec, code_version: Optional[str] = None) -> "Deployment":
+    """Everything between a :class:`ServeSpec` and a startable service.
+
+    Builds the replica recipe (:func:`build_replica_factory`), resolves
+    the engine family (``thread`` -> :class:`~repro.serve.engine.PipelineEngine`,
+    ``process`` -> :class:`~repro.serve.sharded.ShardedProcessEngine`
+    with consistent-hash sharded caching), honors the spec's ``backend``
+    field (threaded through every replica's forwards via
+    :func:`repro.sc.backends.use_backend`), and wires the cache policy.
+    """
+    factory = build_replica_factory(spec)
 
     if spec.engine == "process":
         from repro.serve.sharded import ShardedProcessEngine

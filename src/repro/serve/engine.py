@@ -186,6 +186,10 @@ class PipelineEngine:
         self._local = threading.local()
         self.executor: Optional[ThreadPoolExecutor] = None
         self._modes: Optional[contextlib.ExitStack] = None
+        # Chaos seam: kill_shard() bumps the generation; worker threads
+        # rebuild their replica on the next batch they run.
+        self._generation = 0
+        self.deaths = 0
         if version is None:
             probe = pipeline_factory()
             version = pipeline_fingerprint(probe)
@@ -213,12 +217,29 @@ class PipelineEngine:
             self._modes.close()
             self._modes = None
 
+    # ----------------------------------------------------------------- chaos
+    def kill_shard(self, slot: Optional[int] = None) -> int:
+        """Discard every worker's replica (thread-engine replica loss).
+
+        The degradation analogue of the sharded engine's ``kill_shard``:
+        there is no process to SIGKILL, so the failure mode is losing the
+        built pipelines — each worker thread deep-copies a fresh replica
+        on its next batch.  Replicas are bit-identical by construction, so
+        this perturbs latency, never predictions.  ``slot`` is accepted
+        for interface parity and ignored (thread replicas are anonymous).
+        Returns 0 (the nominal killed slot).
+        """
+        self._generation += 1
+        self.deaths += 1
+        return 0
+
     # ------------------------------------------------------------- execution
     def _pipeline(self) -> ScViTEvalPipeline:
         pipeline = getattr(self._local, "pipeline", None)
-        if pipeline is None:
+        if pipeline is None or getattr(self._local, "generation", -1) != self._generation:
             pipeline = self._factory()
             self._local.pipeline = pipeline
+            self._local.generation = self._generation
         return pipeline
 
     def run(self, images: np.ndarray, indices: np.ndarray) -> np.ndarray:

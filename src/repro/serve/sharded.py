@@ -541,6 +541,22 @@ class ShardedProcessEngine:
                     self._last_scale_at = now
 
     # --------------------------------------------------------------- chaos/testing
+    def ensure_capacity(self) -> None:
+        """Reap idle corpses and respawn below ``min_shards`` right now.
+
+        Recovery normally rides the dispatch path (:meth:`_try_pick` reaps
+        and respawns), which is fine under traffic but means a shard killed
+        during a fully-cached lull stays buried until the next cache miss.
+        The scenario layer's recovery watcher polls this instead of waiting
+        for traffic, so recovery-deadline measurements reflect the engine,
+        not the arrival process.
+        """
+        if self._closed:
+            return
+        with self._routing_lock:
+            self._reap_locked()
+            self._promote_ready_locked()
+
     def kill_shard(self, slot: Optional[int] = None) -> Optional[int]:
         """SIGKILL one worker process (fault-injection hook for tests).
 

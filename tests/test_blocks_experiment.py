@@ -75,11 +75,17 @@ class TestExperimentSpec:
         paths = sorted(specs_dir.glob("*.json"))
         assert paths, "examples/specs/ should ship experiment files"
         parser = build_parser()
+        from repro.scenarios import ScenarioSpec
+
         for path in paths:
-            # `repro run` routes on the same sniff: serve/deployment files
-            # go to ServeSpec, everything else to ExperimentSpec.
+            # `repro run` routes on the same sniffs: serve/deployment files
+            # go to ServeSpec, serve/scenario to ScenarioSpec, everything
+            # else to ExperimentSpec.
             if ServeSpec.sniff(json.loads(path.read_text())):
                 ServeSpec.from_file(path)
+                continue
+            if ScenarioSpec.sniff(json.loads(path.read_text())):
+                ScenarioSpec.from_file(path)
                 continue
             spec = ExperimentSpec.from_file(path)
             spec.validate_options(parser)

@@ -41,6 +41,7 @@ PUBLIC_MODULES = [
     "repro.runner",
     "repro.eval_pipeline",
     "repro.serve",
+    "repro.scenarios",
     "repro.utils",
 ]
 

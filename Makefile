@@ -3,7 +3,7 @@
 PYTEST = PYTHONPATH=src python -m pytest
 REPRO = PYTHONPATH=src python -m repro
 
-.PHONY: test test-fast test-cov bench bench-check bench-serve serve-smoke scenario-smoke lint smoke eval-smoke api-check api-snapshot
+.PHONY: test test-fast test-cov bench bench-check bench-serve serve-smoke scenario-smoke fabric-smoke lint smoke eval-smoke api-check api-snapshot
 
 ## Tier-1 verification: the full suite, fail-fast.
 test:
@@ -43,6 +43,14 @@ serve-smoke:
 scenario-smoke:
 	$(REPRO) scenario examples/specs/scenario_poisson_slo.json examples/specs/scenario_flashcrowd_kill.json examples/specs/scenario_burst_cacheloss.json --engine thread --cache-dir .repro-cache
 	$(REPRO) scenario examples/specs/scenario_poisson_slo.json examples/specs/scenario_flashcrowd_kill.json examples/specs/scenario_burst_cacheloss.json --engine process --cache-dir .repro-cache
+
+## Fabric gate: place-and-route + execute the example fabric specs with
+## every slot bit-identical to the golden blocks path, plus the verify
+## section (partial-reconfig write counts, Table VI reconciliation).
+fabric-smoke:
+	$(REPRO) fabric examples/specs/fabric_design_4x4.json examples/specs/fabric_run_smoke.json --cache-dir .repro-cache
+	$(REPRO) fabric examples/specs/fabric_run_smoke.json --cache-dir .repro-cache
+	$(REPRO) scenario examples/specs/scenario_fabric_deadtile.json --cache-dir .repro-cache
 
 ## Lint (ruff config lives in pyproject.toml).  Falls back to a syntax
 ## check when ruff is not installed locally; CI always installs ruff.

@@ -1,0 +1,257 @@
+"""Compile-time + throughput harness for the accelerator-fabric simulator.
+
+Measures the two costs that make :mod:`repro.fabric` usable as a modelling
+tool rather than a demo:
+
+* **compile** — the full cold cycle from a block schedule to a runnable
+  model: deterministic place-and-route, loading the configuration
+  bitstream into config space, and compiling the configured routing graph
+  back into blocks (checksums + route verification included).  Also
+  records the partial-reconfiguration cycle (swap one slot's family and
+  reconfigure + recompile), which must be cheaper than a cold load in
+  config *writes* — the reported ``reuse_frac`` is the fraction of live
+  words the diff left untouched.
+* **throughput** — executed rows/s of the compiled iterative-softmax tile
+  on the packed SC engine.  The fabric adds dispatch, not arithmetic, so
+  this gates the overhead of executing through the configured grid.
+
+Results merge into ``benchmarks/results/BENCH_fabric.json`` per SC kernel
+backend (schema 2, same shape as ``BENCH_sc_engine.json``): re-running one
+backend never clobbers another's numbers, and the default backend is
+mirrored into the schema-1 top-level keys.  ``python -m repro bench
+--suite fabric --check-floor`` gates on the recorded floors.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_fabric.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # allow `python benchmarks/bench_fabric.py`
+    sys.path.insert(0, str(_SRC))
+
+import repro.blocks as blocks
+from repro.evaluation.reporting import format_table
+from repro.evaluation.vectors import attention_logit_vectors
+from repro.fabric import Fabric, FabricSpec, place_and_route
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: The measured design: the default 4x4 grid from
+#: ``examples/specs/fabric_design_4x4.json``.
+FABRIC = FabricSpec(name="bench-4x4")
+
+#: Schedule under test — the paper's iterative softmax (CI-sized) plus a
+#: Bernstein GELU, the same pairing the fabric smoke spec executes.
+def _schedule():
+    softmax = blocks.default_spec("softmax/iterative").with_updates(m=16, s1=4, s2=2)
+    gelu = blocks.default_spec("gelu/bernstein").with_updates(bitstream_length=256)
+    return [softmax, gelu]
+
+
+COMPILE_REPEATS = 5
+THROUGHPUT_ROWS = 64
+THROUGHPUT_REPEATS = 3
+
+#: Regression bounds recorded into the payload; ``repro bench --suite
+#: fabric --check-floor`` fails when a measurement leaves them.  The
+#: compile ceiling is ~50x the typical cold cycle (a few ms) so only a
+#: real regression — not CI scheduler noise — trips it; the throughput
+#: floor is far under the few-thousand rows/s the packed engine sustains
+#: on the CI-sized softmax.  ``reuse_frac`` gates the partial-reconfig
+#: contract itself: swapping one slot must leave most live words alone.
+FLOORS = {
+    "compile.cold_ms": {"max": 250.0},
+    "compile.reuse_frac": {"min": 0.5},
+    "throughput.softmax_rows_per_s": {"min": 50.0},
+}
+
+
+def host_metadata() -> dict:
+    """CPU/library fingerprint stored with every run (regression triage)."""
+    try:
+        import numba
+
+        numba_version = numba.__version__
+    except ImportError:
+        numba_version = None
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "numba": numba_version,
+    }
+
+
+def bench_compile() -> dict:
+    """Best-of-N cold compile cycle + the partial-reconfiguration diff."""
+    schedule = _schedule()
+    cold_ms = []
+    for _ in range(COMPILE_REPEATS):
+        fabric = Fabric(FABRIC)
+        start = time.perf_counter()
+        placement = place_and_route(FABRIC, schedule, seed=0)
+        fabric.load_bitstream(placement.bitstream())
+        compiled = fabric.compile()
+        cold_ms.append(1000.0 * (time.perf_counter() - start))
+    resources = compiled.resource_counts()
+
+    # Partial reconfiguration: swap only the GELU family and diff-load.
+    fabric = Fabric(FABRIC)
+    first = fabric.reconfigure(place_and_route(FABRIC, schedule, seed=0).bitstream())
+    swapped_schedule = [schedule[0], blocks.default_spec("gelu/fsm")]
+    start = time.perf_counter()
+    swap = fabric.reconfigure(place_and_route(FABRIC, swapped_schedule, seed=0).bitstream())
+    fabric.compile()
+    swap_ms = 1000.0 * (time.perf_counter() - start)
+    touched = swap["written"] + swap["cleared"]
+    return {
+        "schedule": [spec.to_dict() for spec in schedule],
+        "cold_ms": float(min(cold_ms)),
+        "cold_ms_all": [float(ms) for ms in cold_ms],
+        "config_writes": int(first["written"]),
+        "swap_ms": float(swap_ms),
+        "swap_written": int(swap["written"]),
+        "swap_skipped": int(swap["skipped"]),
+        "swap_cleared": int(swap["cleared"]),
+        "reuse_frac": float(swap["skipped"]) / float(swap["skipped"] + touched),
+        "resources": resources,
+    }
+
+
+def bench_throughput() -> dict:
+    """Executed rows/s of the compiled softmax tile, best of N passes."""
+    schedule = _schedule()
+    fabric = Fabric(FABRIC)
+    fabric.load_bitstream(place_and_route(FABRIC, schedule, seed=0).bitstream())
+    compiled = fabric.compile()
+    softmax_spec = schedule[0]
+    values = attention_logit_vectors(THROUGHPUT_ROWS, softmax_spec.m, seed=2024)
+    compiled.evaluate_slot(0, values[:4])  # warm any lazy state out of the timing
+    rates = []
+    for _ in range(THROUGHPUT_REPEATS):
+        start = time.perf_counter()
+        compiled.evaluate_slot(0, values)
+        rates.append(THROUGHPUT_ROWS / (time.perf_counter() - start))
+    return {
+        "rows": THROUGHPUT_ROWS,
+        "m": int(softmax_spec.m),
+        "softmax_rows_per_s": float(max(rates)),
+        "rows_per_s_all": [float(rate) for rate in rates],
+    }
+
+
+def run_benchmarks() -> dict:
+    from repro.sc.backends import active_backend
+
+    payload = {
+        "schema": 2,
+        "fabric": FABRIC.to_dict(),
+        "backend": active_backend().name,
+        "compile": bench_compile(),
+        "throughput": bench_throughput(),
+        "host": host_metadata(),
+        "floors": {metric: dict(bounds) for metric, bounds in FLOORS.items()},
+    }
+    return payload
+
+
+def print_report(payload: dict) -> None:
+    compile_section = payload["compile"]
+    throughput = payload["throughput"]
+    print(f"\n=== fabric harness ({payload['backend']} backend, 4x4 grid) ===")
+    print(format_table(
+        ["Stage", "Best (ms)", "Detail"],
+        [
+            (
+                "cold place+route+compile",
+                round(compile_section["cold_ms"], 2),
+                f"{compile_section['config_writes']} config writes",
+            ),
+            (
+                "partial reconfigure+compile",
+                round(compile_section["swap_ms"], 2),
+                f"{compile_section['swap_written']} written, "
+                f"{compile_section['swap_skipped']} skipped "
+                f"(reuse {compile_section['reuse_frac']:.0%})",
+            ),
+        ],
+    ))
+    print(
+        f"throughput: compiled softmax (m={throughput['m']}) "
+        f"{throughput['softmax_rows_per_s']:.1f} rows/s over {throughput['rows']} rows"
+    )
+
+
+def save_report(payload: dict) -> Path:
+    """Merge one backend's run into the tracked results file.
+
+    Same schema-2 shape as ``BENCH_sc_engine.json``: every backend's latest
+    numbers live side by side under ``backends[<name>]`` and re-running one
+    never clobbers the others; the numpy backend is also mirrored into the
+    schema-1 top-level keys for older consumers.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    out_path = RESULTS_DIR / "BENCH_fabric.json"
+    merged = {}
+    if out_path.exists():
+        try:
+            existing = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            existing = {}
+        if existing.get("schema") == 2:
+            merged = existing
+    backend_name = payload["backend"]
+    backends = dict(merged.get("backends") or {})
+    backends[backend_name] = {
+        "host": payload.get("host", {}),
+        "floors": payload.get("floors", {}),
+        "compile": payload["compile"],
+        "throughput": payload["throughput"],
+    }
+    merged.update({"schema": 2, "fabric": payload["fabric"], "backends": backends})
+    if backend_name == "numpy" or "compile" not in merged:
+        merged["compile"] = payload["compile"]
+        merged["throughput"] = payload["throughput"]
+        merged["floors"] = payload.get("floors", {})
+        merged["host"] = payload.get("host", {})
+    out_path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    return out_path
+
+
+# ---------------------------------------------------------------------------
+# Pytest entry — `pytest benchmarks/bench_fabric.py` gates the floors
+# ---------------------------------------------------------------------------
+
+
+def test_perf_fabric():
+    payload = run_benchmarks()
+    print_report(payload)
+    save_report(payload)
+    compile_section = payload["compile"]
+    assert compile_section["cold_ms"] <= FLOORS["compile.cold_ms"]["max"]
+    assert compile_section["reuse_frac"] >= FLOORS["compile.reuse_frac"]["min"]
+    assert (
+        payload["throughput"]["softmax_rows_per_s"]
+        >= FLOORS["throughput.softmax_rows_per_s"]["min"]
+    )
+
+
+if __name__ == "__main__":
+    payload = run_benchmarks()
+    print_report(payload)
+    saved = save_report(payload)
+    print(f"\nsaved {saved}")
+    sys.exit(0)

@@ -27,7 +27,12 @@ The package mirrors the structure of the paper (DATE 2024):
   registration (``python -m repro eval``),
 * :mod:`repro.serve` — the async dynamic-batching inference service:
   bounded request queue, micro-batcher, worker-pool engine, per-request
-  result cache and stdio/HTTP transports (``python -m repro serve``).
+  result cache and stdio/HTTP transports (``python -m repro serve``),
+* :mod:`repro.fabric` — the bitstream-configurable accelerator-fabric
+  simulator: a tile grid hosting registry blocks, deterministic
+  place-and-route, configure-then-compile execution on the packed SC
+  engine, golden bit-identity cross-checks and Table VI cost
+  reconciliation (``python -m repro fabric``).
 
 See ``DESIGN.md`` for the system inventory and the per-experiment index, and
 ``EXPERIMENTS.md`` for measured-vs-paper results.
@@ -46,6 +51,7 @@ __all__ = [
     "eval_pipeline",
     "runner",
     "serve",
+    "fabric",
     "utils",
     "__version__",
 ]

@@ -16,17 +16,23 @@ against the serial path (``--workers 1``):
   pool or sharded worker processes, described declaratively by a
   :class:`repro.serve.ServeSpec` file (``--spec deployment.json``),
 * ``run``        — execute declarative spec files
-  (:class:`repro.blocks.ExperimentSpec`, ``serve/deployment`` or
-  ``serve/scenario`` JSON, routed by their ``kind`` tag; see
-  ``examples/specs/``),
+  (:class:`repro.blocks.ExperimentSpec`, ``serve/deployment``,
+  ``serve/scenario``, ``fabric/design`` or ``fabric/run`` JSON, routed by
+  their ``kind`` tag; see ``examples/specs/``),
 * ``scenario``   — declarative resilience scenarios (:mod:`repro.scenarios`):
   replay a deterministic or recorded request stream against a deployment
   while firing timed degradations (shard kills, cache loss, fault storms,
   queue bursts) and judging declarative assertions (bit-identity vs
   offline eval, SLO ceilings, recovery deadlines),
+* ``fabric``     — the bitstream-configurable accelerator-fabric simulator
+  (:mod:`repro.fabric`): place-and-route a block schedule onto a tile
+  grid, compile the configured routing graph and execute it on the packed
+  SC engine, cross-checked bit-for-bit against the golden block path
+  (``fabric/design`` summaries, ``fabric/run`` cached executions),
 * ``blocks``     — list the registered circuit-block families
-  (:mod:`repro.blocks`), their encodings, parameter schemas and hardware
-  cost, or regenerate the Table I capability matrix,
+  (:mod:`repro.blocks`), their encodings, parameter schemas, hardware
+  cost and fabric mappability, or regenerate the Table I capability
+  matrix,
 * ``bench``      — the packed-engine perf regression harness (+ floor check),
 * ``verify``     — self-checks: parallel == serial, cache round-trip,
   batched eval == per-image eval, served == offline (the batcher
@@ -441,12 +447,39 @@ def _scenario_run_argv(path: Path, spec: Any, overrides: dict) -> List[str]:
     return argv
 
 
+def _load_fabric_design_run_spec(path: Path, payload: dict) -> Any:
+    from repro.fabric import FabricSpec
+
+    return FabricSpec.from_dict(payload)
+
+
+def _load_fabric_run_spec(path: Path, payload: dict) -> Any:
+    from repro.fabric import FabricRunSpec
+
+    return FabricRunSpec.from_dict(payload)
+
+
+def _fabric_run_argv(path: Path, spec: Any, overrides: dict) -> List[str]:
+    argv = ["fabric", str(path)]
+    if overrides.get("cache_dir") is not None:
+        argv += ["--cache-dir", str(overrides["cache_dir"])]
+    if overrides.get("out") is not None:
+        argv += ["--out", str(overrides["out"])]
+    if overrides.get("quiet"):
+        argv.append("--quiet")
+    return argv
+
+
 #: The ``repro run`` sniff table: JSON ``kind`` tag -> (loader, argv builder).
-#: Adding a fourth kind is one entry here, not another if/elif chain; files
-#: without a ``kind`` tag are classic :class:`ExperimentSpec` documents.
+#: Adding another kind is one entry here, not another if/elif chain — and
+#: the unknown-kind error enumerates this table, so new kinds appear in it
+#: automatically; files without a ``kind`` tag are classic
+#: :class:`ExperimentSpec` documents.
 RUN_SPEC_KINDS = {
     "serve/deployment": (_load_serve_run_spec, _serve_run_argv),
     "serve/scenario": (_load_scenario_run_spec, _scenario_run_argv),
+    "fabric/design": (_load_fabric_design_run_spec, _fabric_run_argv),
+    "fabric/run": (_load_fabric_run_spec, _fabric_run_argv),
 }
 
 
@@ -703,6 +736,122 @@ def _write_scenario_job_summary(results: Sequence[dict]) -> None:
 
 
 # ---------------------------------------------------------------------------
+# fabric — the bitstream-configurable accelerator-fabric simulator
+# ---------------------------------------------------------------------------
+
+
+def cmd_fabric(args: argparse.Namespace) -> int:
+    from repro.fabric import FabricRunSpec, FabricSpec, mappable_families
+    from repro.runner.runner import ParallelSweepRunner
+    from repro.runner.tasks import FabricTask
+
+    designs = []
+    runs = []
+    try:
+        for path in args.spec:
+            payload = json.loads(Path(path).read_text())
+            if FabricSpec.sniff(payload):
+                designs.append((path, FabricSpec.from_dict(payload)))
+            elif FabricRunSpec.sniff(payload):
+                runs.append((path, FabricRunSpec.from_dict(payload)))
+            else:
+                kind = payload.get("kind") if isinstance(payload, dict) else None
+                raise ValueError(
+                    f"{path}: expected a fabric/design or fabric/run spec, got kind {kind!r}"
+                )
+    except (OSError, ValueError, KeyError) as exc:
+        raise SystemExit(str(exc)) from exc
+
+    exit_code = 0
+    out_payload: dict = {"designs": [], "runs": []}
+
+    for path, design in designs:
+        families = sorted(name for name, ok in mappable_families(design).items() if ok)
+        print(f"== fabric design {design.name or Path(path).stem} ({path}) ==")
+        if design.description:
+            print(design.description)
+        print(
+            f"grid {design.rows}x{design.cols} ({design.mem_cols} memory column(s), "
+            f"{len(design.pe_tiles)} PE tiles), word {design.word_bits} bits, "
+            f"payload capacity {design.payload_capacity_bytes} bytes/tile"
+        )
+        print(f"mappable families ({len(families)}): {', '.join(families)}")
+        out_payload["designs"].append(
+            {
+                "spec": design.to_dict(),
+                "pe_tiles": len(design.pe_tiles),
+                "payload_capacity_bytes": design.payload_capacity_bytes,
+                "mappable_families": list(families),
+            }
+        )
+
+    cache = _make_cache(args) if runs else None
+    evaluated = cache_hits = 0
+    for path, spec in runs:
+        label = spec.name or Path(path).stem
+        print(f"== fabric run {label} ({path}) ==")
+        if spec.description:
+            print(spec.description)
+        # Each run drives a full place-and-route + configure + compile +
+        # execute cycle, so the sweep runs serially; the runner still
+        # provides the shared content-addressed cache and hit accounting.
+        runner = ParallelSweepRunner(
+            FabricTask(),
+            workers=1,
+            cache=cache,
+            reporter=_make_reporter(args, f"fabric {label}"),
+        )
+        result = runner.run([spec.to_dict()])[0]
+        evaluated += runner.stats.evaluated
+        cache_hits += runner.stats.cache_hits
+        _print_fabric_result(result, cached=runner.stats.cache_hits > 0)
+        out_payload["runs"].append(result)
+        if not result["bit_identical"]:
+            exit_code = 1
+    if runs:
+        out_payload["stats"] = {"evaluated": evaluated, "cache_hits": cache_hits}
+    _write_json(args.out, out_payload)
+    return exit_code
+
+
+def _print_fabric_result(result: dict, cached: bool = False) -> None:
+    source = " (cached result)" if cached else ""
+    bitstream = result["bitstream"]
+    timings = result["timings_ms"]
+    print(
+        f"grid {result['grid']}: {len(result['slots'])} slot(s), "
+        f"{bitstream['writes']} config writes ({bitstream['bytes']} bytes, "
+        f"digest {bitstream['digest'][:12]}...){source}"
+    )
+    print(
+        f"timings: place+route {timings['place_route']:.2f} ms, "
+        f"configure+compile {timings['configure_compile']:.2f} ms, "
+        f"execute {timings['execute']:.2f} ms"
+    )
+    rows = [
+        (
+            slot["slot"],
+            slot["tile"],
+            slot["family"],
+            slot["rows"],
+            slot["output_digest"][:12] + "...",
+            "pass" if slot["bit_identical"] else "FAIL",
+        )
+        for slot in result["slots"]
+    ]
+    _print_table(
+        "fabric slots vs golden blocks.build path",
+        ["slot", "tile", "family", "rows", "output digest", "bit-identity"],
+        rows,
+    )
+    area = result.get("area_um2")
+    if area is not None:
+        print(f"synthesized fabric area: {area:.1f} um2")
+    verdict = "PASS" if result["bit_identical"] else "FAIL"
+    print(f"fabric run {result['name'] or '<unnamed>'}: bit-identity {verdict}")
+
+
+# ---------------------------------------------------------------------------
 # serve — the async dynamic-batching inference service
 # ---------------------------------------------------------------------------
 
@@ -837,8 +986,19 @@ def _format_default(value: Any) -> str:
 
 def cmd_blocks(args: argparse.Namespace) -> int:
     import repro.blocks as blocks
+    from repro.fabric import fabric_mappable
 
     if args.table1:
+        # fabric_mappable is derived per design from the registry — a design
+        # maps onto the fabric when every registered family carrying its
+        # label does (no hand-maintained list to drift).
+        design_mappable: dict = {}
+        for name in blocks.names():
+            capability = blocks.get(name).capability
+            if capability is None:
+                continue
+            design = capability.design
+            design_mappable[design] = design_mappable.get(design, True) and fabric_mappable(name)
         rows = [
             (
                 row.design,
@@ -846,12 +1006,13 @@ def cmd_blocks(args: argparse.Namespace) -> int:
                 row.encoding_format,
                 ", ".join(row.supported_functions),
                 row.implementation_method,
+                "yes" if design_mappable.get(row.design, False) else "no",
             )
             for row in blocks.capability_matrix()
         ]
         _print_table(
             "table1 capability matrix (from the block registry)",
-            ["SC design", "Model", "Encoding", "Functions", "Method"],
+            ["SC design", "Model", "Encoding", "Functions", "Method", "Fabric-mappable"],
             rows,
         )
         _write_json(
@@ -866,6 +1027,7 @@ def cmd_blocks(args: argparse.Namespace) -> int:
         entry = blocks.get(name)
         schema = entry.spec_cls.field_defaults()
         params = ", ".join(f"{k}={_format_default(v)}" for k, v in schema.items())
+        mappable = fabric_mappable(name)
         # None (not NaN) when synthesis is skipped: NaN is not valid JSON.
         cost = None if args.no_hardware else blocks.build(name).hardware_summary()
         rows.append(
@@ -877,6 +1039,7 @@ def cmd_blocks(args: argparse.Namespace) -> int:
                 "n/a" if cost is None else round(cost["area_um2"], 1),
                 "n/a" if cost is None else round(cost["delay_ns"], 3),
                 "n/a" if cost is None else round(cost["adp"], 1),
+                "yes" if mappable else "no",
             )
         )
         payload["blocks"][name] = {
@@ -887,11 +1050,12 @@ def cmd_blocks(args: argparse.Namespace) -> int:
             "output_encoding": entry.output_encoding,
             "parameters": {k: (None if v is ... else v) for k, v in schema.items()},
             "hardware": cost,
+            "fabric_mappable": mappable,
             "default_spec": blocks.default_spec(name).to_dict(),
         }
     _print_table(
         "registered circuit blocks (defaults-built hardware cost)",
-        ["Family", "Function", "Encoding", "Parameters", "Area (um2)", "Delay (ns)", "ADP"],
+        ["Family", "Function", "Encoding", "Parameters", "Area (um2)", "Delay (ns)", "ADP", "Fabric"],
         rows,
     )
     _write_json(args.out, payload)
@@ -932,6 +1096,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         exit_code |= _bench_engine(args)
     if args.suite in ("serve", "all"):
         exit_code |= _bench_serve(args)
+    if args.suite in ("fabric", "all"):
+        exit_code |= _bench_fabric(args)
     return exit_code
 
 
@@ -1119,6 +1285,61 @@ def _bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_fabric(args: argparse.Namespace) -> int:
+    """Fabric harness: compile-time + executed-throughput floors.
+
+    Same floor grammar as the serve suite: ``{"min": x}`` / ``{"max": y}``
+    bounds per dotted metric path, so place-and-route + compile latency
+    gates from above and compiled softmax throughput from below.
+    """
+    benchmarks_dir = _find_benchmarks_dir(args.benchmarks_dir, required="bench_fabric.py")
+    results_path = benchmarks_dir / "results" / "BENCH_fabric.json"
+
+    if args.no_run:
+        if not results_path.exists():
+            raise SystemExit(f"--no-run: no recorded results at {results_path}")
+        payload = json.loads(results_path.read_text())
+        print(f"checking recorded fabric results at {results_path}")
+    else:
+        harness = _load_bench_module(benchmarks_dir, "bench_fabric.py")
+        payload = harness.run_benchmarks()
+        harness.print_report(payload)
+        saved = harness.save_report(payload)
+        print(f"\nsaved {saved}")
+
+    if not args.check_floor:
+        return 0
+
+    failures = []
+    summary_rows = []
+    for metric, bounds in sorted(payload.get("floors", {}).items()):
+        bounds = dict(bounds)
+        measured = _lookup_metric(payload, metric)
+        if measured is None:
+            failures.append(f"{metric}: no measurement recorded (bounds {bounds})")
+            summary_rows.append((metric, "n/a", str(bounds), "", "FAIL (missing)"))
+            continue
+        bound_text = ", ".join(f"{op} {value:g}" for op, value in sorted(bounds.items()))
+        ok = True
+        if "min" in bounds and measured < float(bounds["min"]):
+            ok = False
+        if "max" in bounds and measured > float(bounds["max"]):
+            ok = False
+        detail = f"{metric}: measured {measured:.2f} vs bounds ({bound_text})"
+        summary_rows.append((metric, f"{measured:.2f}", bound_text, "", "ok" if ok else "FAIL"))
+        if ok:
+            print(f"floor ok: {detail}")
+        else:
+            failures.append(detail)
+    _write_floor_job_summary(summary_rows, failures, title="Fabric compile/throughput floors")
+    if failures:
+        for failure in failures:
+            print(f"FABRIC PERF REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("fabric floors: all pass")
+    return 0
+
+
 def _write_floor_job_summary(
     rows: Sequence[Sequence[str]],
     failures: Sequence[str],
@@ -1205,6 +1426,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
     failures.extend(_verify_eval_pipeline())
     failures.extend(_verify_serve())
     failures.extend(_verify_serve_sharded())
+    failures.extend(_verify_fabric())
 
     for failure in failures:
         print(f"FAIL {failure}", file=sys.stderr)
@@ -1388,6 +1610,89 @@ def _verify_serve_sharded() -> List[str]:
     return failures
 
 
+def _verify_fabric() -> List[str]:
+    """Self-checks of the accelerator-fabric simulator.
+
+    Bit-identity of fabric execution against the golden ``blocks.build``
+    path for the iterative softmax and a GELU family, write-count reuse
+    across a partial reconfiguration, and the Table VI area
+    reconciliation — the same contracts ``tests/test_fabric.py`` gates on,
+    sized to run in seconds.
+    """
+    from repro.fabric import (
+        FabricRunSpec,
+        FabricSpec,
+        reconcile_table6,
+        run_fabric,
+    )
+    import repro.blocks as blocks
+
+    failures: List[str] = []
+    fabric = FabricSpec(name="verify")
+    softmax = blocks.default_spec("softmax/iterative").with_updates(m=16, s1=4, s2=2)
+    gelu = blocks.default_spec("gelu/bernstein")
+
+    spec = FabricRunSpec(
+        name="verify", fabric=fabric, schedule=(softmax, gelu), rows=8, seed=7
+    )
+    result = run_fabric(spec)
+    if result["bit_identical"]:
+        print(
+            f"PASS fabric == golden blocks path ({len(result['slots'])} slots, "
+            f"{result['bitstream']['writes']} config writes)"
+        )
+    else:
+        bad = [s["family"] for s in result["slots"] if not s["bit_identical"]]
+        failures.append(f"fabric output differs from golden blocks path: {', '.join(bad)}")
+
+    faulted = run_fabric(spec.with_updates(flip_prob=0.05))
+    if faulted["bit_identical"]:
+        print("PASS fabric == golden blocks path under flip_prob=0.05")
+    else:
+        failures.append("fabric output differs from golden blocks path under fault injection")
+
+    # Partial reconfiguration: swapping only the second slot must rewrite
+    # only that tile's config words, and the re-loaded identical bitstream
+    # must write nothing.
+    from repro.fabric import Fabric, place_and_route
+
+    live = Fabric(fabric)
+    first = live.reconfigure(place_and_route(fabric, [softmax, gelu], seed=0).bitstream())
+    swap_bitstream = place_and_route(
+        fabric, [softmax, blocks.default_spec("gelu/fsm")], seed=0
+    ).bitstream()
+    swapped = live.reconfigure(swap_bitstream)
+    again = live.reconfigure(swap_bitstream)
+    if swapped["skipped"] > 0 and swapped["written"] < first["written"]:
+        print(
+            f"PASS partial reconfiguration reuses unchanged tiles "
+            f"(cold {first['written']} writes, swap {swapped['written']} writes, "
+            f"{swapped['skipped']} skipped)"
+        )
+    else:
+        failures.append(
+            f"partial reconfiguration rewrote everything: cold {first['written']}, "
+            f"swap {swapped['written']} written / {swapped['skipped']} skipped"
+        )
+    if again["written"] > 0:
+        failures.append(
+            f"re-loading a previously live schedule wrote {again['written']} words"
+        )
+
+    reconcile = reconcile_table6(fabric=fabric)
+    if reconcile["reconciles"]:
+        print(
+            f"PASS fabric tile area reconciles with Table VI "
+            f"(ratio {reconcile['ratio']:.3f} <= {reconcile['tolerance']:g})"
+        )
+    else:
+        failures.append(
+            f"fabric tile area does not reconcile with Table VI: ratio "
+            f"{reconcile['ratio']:.3f} outside [1, {reconcile['tolerance']:g}]"
+        )
+    return failures
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -1470,7 +1775,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_scenario = sub.add_parser("scenario", help="declarative resilience scenarios over the serving tier")
     p_scenario.add_argument("spec", nargs="+", type=Path, help="scenario spec file(s) (serve/scenario JSON); see examples/specs/scenario_*.json")
-    p_scenario.add_argument("--engine", choices=["thread", "process"], default=None, help="override the scenarios' engine family (a different engine is a different deployment and cache identity; the CI matrix runs each scenario per family)")
+    p_scenario.add_argument("--engine", choices=["thread", "process", "fabric"], default=None, help="override the scenarios' engine family (a different engine is a different deployment and cache identity; the CI matrix runs each scenario per family)")
     p_scenario.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR, help=f"scenario-result cache directory (default: {DEFAULT_CACHE_DIR})")
     p_scenario.add_argument("--no-cache", action="store_true", help="disable the result cache (always drive the service fresh)")
     p_scenario.add_argument("--out", type=Path, default=None, help="write all scenario results as JSON to this path")
@@ -1510,14 +1815,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--no-cache", action="store_true", help="disable the prediction cache")
     p_serve.set_defaults(func=cmd_serve)
 
+    p_fabric = sub.add_parser("fabric", help="bitstream-configurable accelerator-fabric simulator")
+    p_fabric.add_argument("spec", nargs="+", type=Path, help="fabric spec file(s): fabric/design (summary) or fabric/run (place-and-route + execute) JSON; see examples/specs/fabric_*.json")
+    p_fabric.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR, help=f"fabric-run result cache directory (default: {DEFAULT_CACHE_DIR})")
+    p_fabric.add_argument("--no-cache", action="store_true", help="disable the result cache (always re-execute)")
+    p_fabric.add_argument("--out", type=Path, default=None, help="write all design summaries and run results as JSON to this path")
+    p_fabric.add_argument("--quiet", action="store_true", help="suppress progress output")
+    p_fabric.set_defaults(func=cmd_fabric)
+
     p_blocks = sub.add_parser("blocks", help="list the registered circuit-block families")
     p_blocks.add_argument("--table1", action="store_true", help="print the Table I capability matrix instead")
     p_blocks.add_argument("--no-hardware", action="store_true", help="skip the hardware-cost synthesis column")
     p_blocks.add_argument("--out", type=Path, default=None, help="write the catalog as JSON to this path")
     p_blocks.set_defaults(func=cmd_blocks)
 
-    p_bench = sub.add_parser("bench", help="perf regression harnesses (packed engine, serving)")
-    p_bench.add_argument("--suite", choices=["engine", "serve", "all"], default="engine", help="which harness: the packed-engine microbenches, the serve load generator, or both")
+    p_bench = sub.add_parser("bench", help="perf regression harnesses (packed engine, serving, fabric)")
+    p_bench.add_argument("--suite", choices=["engine", "serve", "fabric", "all"], default="engine", help="which harness: the packed-engine microbenches, the serve load generator, the fabric compile/throughput suite, or all of them")
     p_bench.add_argument("--benchmarks-dir", type=Path, default=None, help="path to benchmarks/")
     p_bench.add_argument("--backend", choices=["numpy", "threaded", "numba"], default=None, help="SC kernel backend to measure (engine suite); merged per backend into the results JSON")
     p_bench.add_argument("--check-floor", action="store_true", help="fail if measurements fall outside the recorded floors")

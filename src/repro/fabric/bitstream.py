@@ -1,0 +1,178 @@
+"""Configuration bitstream: the address map + the ``configure`` word list.
+
+The fabric's behaviour is set **only** by word writes into a sparse config
+space (absent address = 0), in the configure-then-compile style: a
+bitstream is an ordered list of :class:`ConfigWrite` entries, the fabric
+replays them through ``configure(addr, data)``, and a separate compile
+step reads the space back and prunes the configured routing graph into a
+runnable model.  Nothing about a placement survives outside the config
+words — which is what makes stuck-at config bits and partial
+reconfiguration meaningful.
+
+Address map (all words ``word_bits`` wide; ``stride = 4 + payload_words``):
+
+====================  =====================================================
+``tile * stride + 0``  ``REG_MODE`` — 0 idle, 1 PE (hosts a block), 2 memory
+``tile * stride + 1``  ``REG_SLOT`` — schedule slot + 1 (0 = unassigned)
+``tile * stride + 2``  ``REG_PAYLOAD_LEN`` — block-spec payload bytes
+``tile * stride + 3``  ``REG_CHECKSUM`` — sum of payload bytes mod 2**bits
+``tile * stride + 4+i``  payload word ``i``: canonical block-spec JSON,
+                         UTF-8 bytes packed little-endian
+``n_cells * stride + cell``  switch word of ``cell``: link bitmask
+                             (``LINK_RECV_W | LINK_SEND_E | LINK_DROP_PE``)
+====================  =====================================================
+
+The payload checksum is the fabric's stuck-at *detection* mechanism: a
+stuck config bit in a payload word (or in the checksum register itself)
+makes compile fail loudly instead of silently executing a corrupted block
+spec.  Route words carry no checksum — a stuck route bit instead breaks
+graph reachability, which compile also detects (see
+:meth:`repro.fabric.simulator.Fabric.compile`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, Tuple
+
+from repro.fabric.specs import FabricSpec
+
+__all__ = [
+    "Bitstream",
+    "ConfigWrite",
+    "HEADER_WORDS",
+    "LINK_DROP_PE",
+    "LINK_RECV_W",
+    "LINK_SEND_E",
+    "MODE_IDLE",
+    "MODE_MEM",
+    "MODE_PE",
+    "REG_CHECKSUM",
+    "REG_MODE",
+    "REG_PAYLOAD_LEN",
+    "REG_SLOT",
+    "decode_payload",
+    "encode_payload",
+    "payload_checksum",
+    "switch_base",
+    "tile_addr",
+]
+
+#: Per-tile header registers (offsets within a tile's config window).
+REG_MODE = 0
+REG_SLOT = 1
+REG_PAYLOAD_LEN = 2
+REG_CHECKSUM = 3
+HEADER_WORDS = 4
+
+#: ``REG_MODE`` values.
+MODE_IDLE = 0
+MODE_PE = 1
+MODE_MEM = 2
+
+#: Switch-word link bits (X-routing along a row, west to east).
+LINK_RECV_W = 1  # accept the stream arriving from the west neighbour
+LINK_SEND_E = 2  # forward the stream to the east neighbour
+LINK_DROP_PE = 4  # deliver the stream to this cell's tile
+
+
+def tile_stride(spec: FabricSpec) -> int:
+    """Config words per PE/memory tile."""
+    return HEADER_WORDS + spec.payload_words
+
+
+def tile_addr(spec: FabricSpec, tile: int, reg: int) -> int:
+    """Absolute config address of ``reg`` in ``tile``'s window."""
+    if not 0 <= reg < tile_stride(spec):
+        raise ValueError(f"register offset {reg} outside the tile window")
+    if not 0 <= tile < spec.n_cells:
+        raise ValueError(f"tile {tile} outside the {spec.rows}x{spec.cols} grid")
+    return tile * tile_stride(spec) + reg
+
+
+def switch_base(spec: FabricSpec) -> int:
+    """First address of the switch-word region (one word per grid cell)."""
+    return spec.n_cells * tile_stride(spec)
+
+
+def config_space_words(spec: FabricSpec) -> int:
+    """Total addressable config words (tile windows + switch region)."""
+    return switch_base(spec) + spec.n_cells
+
+
+def encode_payload(spec: FabricSpec, block_spec_dict: Dict[str, Any]) -> Tuple[Tuple[int, ...], int]:
+    """Canonical block-spec JSON -> ``(payload words, byte length)``.
+
+    The payload is the block spec's canonical dict serialised with sorted
+    keys and no whitespace, so two equal specs always pack to identical
+    words — the property bitstream determinism rests on.
+    """
+    raw = json.dumps(block_spec_dict, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    capacity = spec.payload_capacity_bytes
+    if len(raw) > capacity:
+        raise ValueError(
+            f"block spec payload is {len(raw)} bytes but the fabric's tile capacity "
+            f"is {capacity} bytes ({spec.payload_words} x {spec.word_bytes}B words); "
+            "the family is not mappable on this fabric"
+        )
+    padded = raw + b"\x00" * (-len(raw) % spec.word_bytes)
+    words = tuple(
+        int.from_bytes(padded[i : i + spec.word_bytes], "little")
+        for i in range(0, len(padded), spec.word_bytes)
+    )
+    return words, len(raw)
+
+
+def decode_payload(spec: FabricSpec, words: Tuple[int, ...], length: int) -> Dict[str, Any]:
+    """Packed payload words -> the block spec's canonical dict."""
+    raw = b"".join(int(word).to_bytes(spec.word_bytes, "little") for word in words)
+    return json.loads(raw[:length].decode("utf-8"))
+
+
+def payload_checksum(spec: FabricSpec, words: Tuple[int, ...], length: int) -> int:
+    """Sum of the payload's meaningful bytes, mod ``2**word_bits``."""
+    raw = b"".join(int(word).to_bytes(spec.word_bytes, "little") for word in words)
+    return sum(raw[:length]) % (1 << spec.word_bits)
+
+
+@dataclass(frozen=True)
+class ConfigWrite:
+    """One ``configure(addr, data)`` word write."""
+
+    addr: int
+    data: int
+
+
+@dataclass(frozen=True)
+class Bitstream:
+    """An ordered, replayable sequence of config writes.
+
+    The byte form (:meth:`to_bytes`: ``u32`` address + little-endian data
+    word per write, in emission order) is the determinism contract's unit
+    of account: the same design + schedule + seed must always produce the
+    same bytes, hence the same :meth:`digest`.
+    """
+
+    writes: Tuple[ConfigWrite, ...]
+    word_bits: int
+
+    def __iter__(self) -> Iterator[ConfigWrite]:
+        return iter(self.writes)
+
+    def __len__(self) -> int:
+        return len(self.writes)
+
+    def to_bytes(self) -> bytes:
+        word_bytes = self.word_bits // 8
+        out = bytearray()
+        for write in self.writes:
+            out += struct.pack("<I", write.addr)
+            out += int(write.data).to_bytes(word_bytes, "little")
+        return bytes(out)
+
+    def digest(self) -> str:
+        """SHA-256 of the byte form — the bitstream's stable identity."""
+        return hashlib.sha256(self.to_bytes()).hexdigest()

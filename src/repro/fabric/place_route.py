@@ -1,0 +1,159 @@
+"""Deterministic place-and-route: schedule -> placement -> bitstream.
+
+The mapper is deliberately simple and **slot-stable**:
+
+* Placement — the available PE tiles (row-major order, dead tiles
+  removed) are rotated by ``seed % len(available)`` and schedule slot
+  ``i`` lands on the ``i``-th rotated tile.  Slot assignment depends only
+  on ``(design, dead set, seed, slot index)`` — never on the block being
+  placed — so two schedules that share a prefix place their shared slots
+  on the *same* tiles, which is what partial reconfiguration's
+  write-count savings rest on.
+* Routing — X-only along the slot's row: the row's memory feeder (the
+  rightmost memory column) streams east through every switch between it
+  and the PE, whose switch drops the stream into the tile.  Switch words
+  accumulate link bits when several slots share a row.
+
+Determinism contract: the emitted bitstream is a pure function of
+``(FabricSpec, schedule specs, dead tiles, seed)`` — byte-identical across
+processes and platforms (a hypothesis-tested property).  Emission order is
+canonical: memory-tile headers by row, then per-slot PE headers +
+payload words, then switch words by address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Sequence, Tuple
+
+from repro.blocks.specs import BlockSpec
+from repro.fabric.bitstream import (
+    LINK_DROP_PE,
+    LINK_RECV_W,
+    LINK_SEND_E,
+    MODE_MEM,
+    MODE_PE,
+    REG_CHECKSUM,
+    REG_MODE,
+    REG_PAYLOAD_LEN,
+    REG_SLOT,
+    Bitstream,
+    ConfigWrite,
+    encode_payload,
+    payload_checksum,
+    switch_base,
+    tile_addr,
+)
+from repro.fabric.specs import FabricSpec
+
+__all__ = ["FabricError", "Placement", "place_and_route"]
+
+
+class FabricError(RuntimeError):
+    """A fabric cannot be placed, routed, or compiled as configured."""
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One routed mapping of a schedule onto a fabric design."""
+
+    fabric: FabricSpec
+    schedule: Tuple[BlockSpec, ...]
+    #: ``assignments[i]`` is the PE tile hosting schedule slot ``i``.
+    assignments: Tuple[int, ...]
+    dead_tiles: FrozenSet[int]
+    seed: int
+
+    def tile_for_slot(self, slot: int) -> int:
+        return self.assignments[slot]
+
+    def routed_cells(self, slot: int) -> Tuple[int, ...]:
+        """Grid cells (west to east) the slot's stream traverses."""
+        spec = self.fabric
+        row, col = spec.tile_position(self.assignments[slot])
+        feeder_col = spec.mem_cols - 1
+        return tuple(row * spec.cols + c for c in range(feeder_col, col + 1))
+
+    def switch_words(self) -> Dict[int, int]:
+        """Final switch word per cell (bits accumulated across slots)."""
+        spec = self.fabric
+        words: Dict[int, int] = {}
+        for slot in range(len(self.schedule)):
+            cells = self.routed_cells(slot)
+            for position, cell in enumerate(cells):
+                bits = words.get(cell, 0)
+                if position > 0:
+                    bits |= LINK_RECV_W
+                if position < len(cells) - 1:
+                    bits |= LINK_SEND_E
+                if cell == self.assignments[slot]:
+                    bits |= LINK_DROP_PE
+                words[cell] = bits
+        return words
+
+    def bitstream(self) -> Bitstream:
+        """Emit the placement's config writes in canonical order."""
+        spec = self.fabric
+        writes = []
+        feeder_col = spec.mem_cols - 1
+        rows_used = sorted({spec.tile_position(tile)[0] for tile in self.assignments})
+        for row in rows_used:
+            feeder = row * spec.cols + feeder_col
+            writes.append(ConfigWrite(tile_addr(spec, feeder, REG_MODE), MODE_MEM))
+        for slot, block_spec in enumerate(self.schedule):
+            tile = self.assignments[slot]
+            words, length = encode_payload(spec, block_spec.to_dict())
+            writes.append(ConfigWrite(tile_addr(spec, tile, REG_MODE), MODE_PE))
+            writes.append(ConfigWrite(tile_addr(spec, tile, REG_SLOT), slot + 1))
+            writes.append(ConfigWrite(tile_addr(spec, tile, REG_PAYLOAD_LEN), length))
+            writes.append(
+                ConfigWrite(tile_addr(spec, tile, REG_CHECKSUM), payload_checksum(spec, words, length))
+            )
+            writes.extend(
+                ConfigWrite(tile_addr(spec, tile, 4 + index), word)
+                for index, word in enumerate(words)
+            )
+        base = switch_base(spec)
+        for cell, bits in sorted(self.switch_words().items()):
+            writes.append(ConfigWrite(base + cell, bits))
+        return Bitstream(writes=tuple(writes), word_bits=spec.word_bits)
+
+
+def place_and_route(
+    fabric: FabricSpec,
+    schedule: Sequence[BlockSpec],
+    seed: int = 0,
+    dead_tiles: Iterable[int] = (),
+) -> Placement:
+    """Map ``schedule`` onto ``fabric``, avoiding ``dead_tiles``.
+
+    Raises :class:`FabricError` when the live PE tiles cannot host the
+    schedule, or when a block spec's payload exceeds the tile capacity
+    (the family is not mappable on this design).
+    """
+    schedule = tuple(schedule)
+    if not schedule:
+        raise FabricError("cannot place an empty schedule")
+    dead = frozenset(int(tile) for tile in dead_tiles)
+    available = [tile for tile in fabric.pe_tiles if tile not in dead]
+    if len(schedule) > len(available):
+        raise FabricError(
+            f"schedule needs {len(schedule)} PE tiles but only {len(available)} are live "
+            f"({len(fabric.pe_tiles)} total, {len(dead & set(fabric.pe_tiles))} dead)"
+        )
+    # Payload capacity is checked here, at placement, so an unmappable
+    # family fails before any config word is written.
+    for block_spec in schedule:
+        try:
+            encode_payload(fabric, block_spec.to_dict())
+        except ValueError as exc:
+            raise FabricError(str(exc)) from exc
+    start = int(seed) % len(available)
+    assignments = tuple(available[(start + slot) % len(available)] for slot in range(len(schedule)))
+    return Placement(
+        fabric=fabric,
+        schedule=schedule,
+        assignments=assignments,
+        dead_tiles=dead,
+        seed=int(seed),
+    )

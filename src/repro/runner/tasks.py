@@ -30,6 +30,7 @@ from repro.runner.cache import array_digest
 from repro.runner.runner import ParallelSweepRunner, SweepTask
 
 __all__ = [
+    "FabricTask",
     "ScenarioTask",
     "SoftmaxDesignTask",
     "GeluSweepTask",
@@ -414,3 +415,39 @@ class ScenarioTask(SweepTask):
 
         spec = ScenarioSpec.from_dict(config)
         return ScenarioRunner(spec, base_dir=self.base_dir).run()
+
+
+# ---------------------------------------------------------------------------
+# Accelerator-fabric workloads (repro.fabric).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FabricTask(SweepTask):
+    """Run one ``fabric/run`` spec through the sweep orchestrator.
+
+    The config is the run spec's *canonical dict* (``FabricRunSpec.to_dict``
+    — design, schedule, seeds and fault knobs fully expanded), which is
+    also the content-addressed cache identity: re-running an unchanged
+    spec file is a pure cache hit, while any edit to the grid, the
+    schedule or the seed re-compiles and re-executes.  The result (the
+    :func:`repro.fabric.run_fabric` payload: bitstream digest, compile
+    timings, per-slot output digests, golden bit-identity verdicts,
+    resource counts) is JSON-able, so the default ``encode``/``decode``
+    pair is lossless.  Compile/execute timings are wall-clock, so a cached
+    result replays the original run's measurements — the same semantics as
+    every other sweep artifact.
+    """
+
+    name = "fabric"
+
+    def config_key(self, config: Dict[str, Any]) -> Dict[str, Any]:
+        return dict(config)
+
+    def evaluate(self, config: Dict[str, Any], seed: int) -> Dict[str, Any]:
+        # Fully deterministic: the spec carries its own placement seed, so
+        # the derived sweep seed is unused.
+        from repro.fabric import FabricRunSpec, run_fabric
+
+        spec = FabricRunSpec.from_dict(config)
+        return run_fabric(spec)

@@ -27,6 +27,8 @@ The catalog (suffix tells the comparison direction):
                           degradation schedule actually bit)
 ``scale_actions_max``     autoscale up/retire action ceiling (flapping bound;
                           kill-driven respawns are excluded)
+``replacements_min``      fabric re-place-and-route floor (proves dead-tile
+                          recovery actually re-placed the schedule)
 ========================  ====================================================
 
 This module is pure data + numpy; it imports nothing from the serving
@@ -62,6 +64,8 @@ class ScenarioOutcome:
     deaths: int = 0
     #: Autoscale actions (scale-ups beyond kill respawns + retires).
     scale_actions: int = 0
+    #: Fabric re-place-and-route cycles (dead-tile recoveries).
+    replacements: int = 0
 
     def rate(self, count: int) -> float:
         return count / self.offered if self.offered else 0.0
@@ -153,6 +157,11 @@ def _deaths_min(outcome: ScenarioOutcome, value: Optional[float]):
 @_register("scale_actions_max")
 def _scale_actions(outcome: ScenarioOutcome, value: Optional[float]):
     return float(outcome.scale_actions), outcome.scale_actions <= float(value)
+
+
+@_register("replacements_min")
+def _replacements_min(outcome: ScenarioOutcome, value: Optional[float]):
+    return float(outcome.replacements), outcome.replacements >= float(value)
 
 
 def evaluate_assertions(assertions: Iterable[Any], outcome: ScenarioOutcome) -> List[Dict[str, Any]]:

@@ -276,6 +276,25 @@ class ScenarioRunner:
                         watch_recovery(engine, baseline, deaths_before, entry)
                     )
                 )
+            elif event.action == "dead_tile":
+                kill = getattr(deployment.engine, "kill_tile", None)
+                if not callable(kill):
+                    raise ScenarioError(
+                        f"engine {type(deployment.engine).__name__} has no kill_tile "
+                        "chaos hook; dead_tile events need the fabric engine"
+                    )
+                engine = deployment.engine
+                baseline = int(engine.workers)
+                deaths_before = int(getattr(engine, "deaths", 0))
+                # Recovery is the re-place-and-route: deaths bumps once the
+                # tile is replaced, workers never drop (replicas rebuild on
+                # their next batch), so the same watcher applies.
+                entry["tile"] = kill(event.slot)
+                recovery_tasks.append(
+                    asyncio.create_task(
+                        watch_recovery(engine, baseline, deaths_before, entry)
+                    )
+                )
             elif event.action == "cache_loss":
                 if deployment.cache is not None:
                     entry["dropped_entries"] = len(deployment.cache)
@@ -327,6 +346,7 @@ class ScenarioRunner:
             final_stats = deployment.service.stats_snapshot()
             engine = deployment.engine
             deaths = int(getattr(engine, "deaths", 0))
+            replacements = int(getattr(engine, "replacements", 0))
             min_shards = getattr(engine, "min_shards", None)
             if min_shards is not None:
                 spawned = int(getattr(engine, "spawned", 0))
@@ -346,6 +366,7 @@ class ScenarioRunner:
             "final_stats": final_stats,
             "elapsed_s": elapsed,
             "deaths": deaths,
+            "replacements": replacements,
             "scale_actions": scale_actions,
             "recoveries": recoveries,
         }
@@ -399,6 +420,7 @@ class ScenarioRunner:
             recovery_ms=tuple(run["recoveries"]),
             deaths=run["deaths"],
             scale_actions=run["scale_actions"],
+            replacements=run.get("replacements", 0),
         )
         verdicts = evaluate_assertions(self.spec.assertions, outcome)
         latency = {
@@ -431,6 +453,7 @@ class ScenarioRunner:
             "elapsed_s": run["elapsed_s"],
             "throughput_per_s": outcome.completed / run["elapsed_s"] if run["elapsed_s"] > 0 else 0.0,
             "deaths": outcome.deaths,
+            "replacements": outcome.replacements,
             "scale_actions": outcome.scale_actions,
             "recoveries_ms": list(outcome.recovery_ms),
             "events": run["events"],

@@ -67,7 +67,7 @@ SCENARIO_KIND = "serve/scenario"
 ARRIVALS = ("poisson", "pareto", "flashcrowd", "diurnal", "trace")
 
 #: Supported degradation actions.
-EVENT_ACTIONS = ("kill_shard", "cache_loss", "flip_storm", "queue_burst")
+EVENT_ACTIONS = ("kill_shard", "cache_loss", "flip_storm", "queue_burst", "dead_tile")
 
 
 def _check_params(cls: Type, params: Dict[str, Any], label: str) -> Dict[str, Any]:
@@ -159,6 +159,11 @@ class EventSpec:
     * ``queue_burst`` — inject ``count`` simultaneous extra requests on
       top of the paced stream (queue-saturation test; rejections are the
       expected backpressure response).
+    * ``dead_tile`` — kill the fabric tile hosting schedule slot ``slot``
+      (null kills slot 0) and assert recovery by re-place-and-route
+      (requires the ``fabric`` engine; see
+      :meth:`repro.fabric.engine.FabricEngine.kill_tile`).  The
+      ``replacements_min`` assertion gates on the re-place count.
     """
 
     action: str = "kill_shard"

@@ -138,7 +138,9 @@ def build_deployment(spec: ServeSpec, code_version: Optional[str] = None) -> "De
     Builds the replica recipe (:func:`build_replica_factory`), resolves
     the engine family (``thread`` -> :class:`~repro.serve.engine.PipelineEngine`,
     ``process`` -> :class:`~repro.serve.sharded.ShardedProcessEngine`
-    with consistent-hash sharded caching), honors the spec's ``backend``
+    with consistent-hash sharded caching, ``fabric`` ->
+    :class:`~repro.fabric.engine.FabricEngine` executing the softmax on a
+    configured tile grid), honors the spec's ``backend``
     field (threaded through every replica's forwards via
     :func:`repro.sc.backends.use_backend`), and wires the cache policy.
     """
@@ -152,6 +154,15 @@ def build_deployment(spec: ServeSpec, code_version: Optional[str] = None) -> "De
             shards=spec.workers,
             max_shards=spec.max_shards,
             scale_up_queue_depth=spec.scale_up_queue_depth,
+            flip_prob=spec.flip_prob,
+            image_shape=factory.image_shape(),
+        )
+    elif spec.engine == "fabric":
+        from repro.fabric.engine import FabricEngine
+
+        engine = FabricEngine(
+            factory,
+            workers=spec.workers,
             flip_prob=spec.flip_prob,
             image_shape=factory.image_shape(),
         )

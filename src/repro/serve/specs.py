@@ -41,7 +41,7 @@ __all__ = ["SPEC_KIND", "ServeSpec"]
 SPEC_KIND = "serve/deployment"
 
 _DATASETS = ("cifar10", "cifar100")
-_ENGINES = ("thread", "process")
+_ENGINES = ("thread", "process", "fabric")
 _TRANSPORTS = ("stdio", "http")
 
 
@@ -69,11 +69,14 @@ class ServeSpec:
       are bit-identical by contract, so ``backend`` is a pure
       throughput knob: it never enters cache keys or the engine
       fingerprint.
-    * engine — ``"thread"`` (:class:`~repro.serve.engine.PipelineEngine`)
-      or ``"process"`` (:class:`~repro.serve.sharded.ShardedProcessEngine`);
-      ``workers`` is threads or shards respectively.  ``max_shards`` (and
-      ``scale_up_queue_depth``) enable queue-depth autoscaling of the
-      process engine above its baseline shard count.
+    * engine — ``"thread"`` (:class:`~repro.serve.engine.PipelineEngine`),
+      ``"process"`` (:class:`~repro.serve.sharded.ShardedProcessEngine`),
+      or ``"fabric"`` (:class:`~repro.fabric.engine.FabricEngine`: the
+      thread engine with the softmax block executing on a configured
+      accelerator-fabric tile, the target of ``dead_tile`` scenario
+      events); ``workers`` is threads or shards respectively.
+      ``max_shards`` (and ``scale_up_queue_depth``) enable queue-depth
+      autoscaling of the process engine above its baseline shard count.
     * service — micro-batcher and backpressure knobs
       (:class:`~repro.serve.service.InferenceService`).
     * cache — prediction-cache policy; the process engine partitions the

@@ -75,17 +75,25 @@ class TestExperimentSpec:
         paths = sorted(specs_dir.glob("*.json"))
         assert paths, "examples/specs/ should ship experiment files"
         parser = build_parser()
+        from repro.fabric import FabricRunSpec, FabricSpec
         from repro.scenarios import ScenarioSpec
 
         for path in paths:
             # `repro run` routes on the same sniffs: serve/deployment files
-            # go to ServeSpec, serve/scenario to ScenarioSpec, everything
-            # else to ExperimentSpec.
+            # go to ServeSpec, serve/scenario to ScenarioSpec, fabric/design
+            # and fabric/run to the fabric simulator, everything else to
+            # ExperimentSpec.
             if ServeSpec.sniff(json.loads(path.read_text())):
                 ServeSpec.from_file(path)
                 continue
             if ScenarioSpec.sniff(json.loads(path.read_text())):
                 ScenarioSpec.from_file(path)
+                continue
+            if FabricSpec.sniff(json.loads(path.read_text())):
+                FabricSpec.from_file(path)
+                continue
+            if FabricRunSpec.sniff(json.loads(path.read_text())):
+                FabricRunSpec.from_file(path)
                 continue
             spec = ExperimentSpec.from_file(path)
             spec.validate_options(parser)
@@ -155,6 +163,18 @@ class TestBlocksSubcommand:
         rows = json.loads(out.read_text())["rows"]
         import repro.blocks as blocks
 
+        from repro.fabric import fabric_mappable
+
+        # The trailing column is derived per design: mappable iff every
+        # registered family carrying the design label fits the fabric.
+        design_mappable = {}
+        for name in blocks.names():
+            capability = blocks.get(name).capability
+            if capability is None:
+                continue
+            design_mappable[capability.design] = (
+                design_mappable.get(capability.design, True) and fabric_mappable(name)
+            )
         expected = [
             [
                 r.design,
@@ -162,6 +182,7 @@ class TestBlocksSubcommand:
                 r.encoding_format,
                 ", ".join(r.supported_functions),
                 r.implementation_method,
+                "yes" if design_mappable.get(r.design, False) else "no",
             ]
             for r in blocks.capability_matrix()
         ]

@@ -42,6 +42,7 @@ PUBLIC_MODULES = [
     "repro.eval_pipeline",
     "repro.serve",
     "repro.scenarios",
+    "repro.fabric",
     "repro.utils",
 ]
 

@@ -32,7 +32,12 @@ The package mirrors the structure of the paper (DATE 2024):
   simulator: a tile grid hosting registry blocks, deterministic
   place-and-route, configure-then-compile execution on the packed SC
   engine, golden bit-identity cross-checks and Table VI cost
-  reconciliation (``python -m repro fabric``).
+  reconciliation (``python -m repro fabric``),
+* :mod:`repro.telemetry` — the unified observability plane: span tracing
+  with cross-process context propagation (Chrome-trace/Perfetto export),
+  Prometheus-text metrics, per-kernel profiling at the SC backend seam and
+  structured logging (``python -m repro trace``; off by default and
+  provably inert — see ``docs/observability.md``).
 
 See ``DESIGN.md`` for the system inventory and the per-experiment index, and
 ``EXPERIMENTS.md`` for measured-vs-paper results.
@@ -52,6 +57,7 @@ __all__ = [
     "runner",
     "serve",
     "fabric",
+    "telemetry",
     "utils",
     "__version__",
 ]

@@ -34,9 +34,17 @@ against the serial path (``--workers 1``):
   cost and fabric mappability, or regenerate the Table I capability
   matrix,
 * ``bench``      — the packed-engine perf regression harness (+ floor check),
+* ``trace``      — summarize an exported telemetry trace
+  (:mod:`repro.telemetry`): span stats by name and by process, instant
+  events and the top-N kernel-profile rows from a Chrome-trace/Perfetto
+  JSON or JSONL export,
 * ``verify``     — self-checks: parallel == serial, cache round-trip,
   batched eval == per-image eval, served == offline (the batcher
   invariant).
+
+Global ``--log-level``/``--log-json`` configure the structured ``repro``
+logger (:mod:`repro.telemetry.logging`) — all diagnostic chatter goes to
+stderr through it, stdout stays reserved for results and transports.
 
 Test vectors default to the same sizes/seeds the ``benchmarks/`` scripts
 use, so CLI runs and bench runs share cache entries.
@@ -130,6 +138,18 @@ def _write_json(out: Optional[Path], payload: dict) -> None:
     print(f"wrote {out}")
 
 
+def _print_cache_counters(cache: Optional[Any]) -> None:
+    """One result-cache accounting line (hits/misses/stores) per command."""
+    counters = getattr(cache, "counters", None)
+    if not callable(counters):
+        return
+    c = counters()
+    print(
+        f"result cache: {c['hits']} hits, {c['misses']} misses, "
+        f"{c['stores']} stores"
+    )
+
+
 # ---------------------------------------------------------------------------
 # dse — Fig. 8 design-space exploration
 # ---------------------------------------------------------------------------
@@ -199,6 +219,7 @@ def cmd_dse(args: argparse.Namespace) -> int:
             ["Space", "By", "s1", "s2", "k", "Area (um2)", "Delay (ns)", "ADP", "MAE"],
             pareto_rows,
         )
+    _print_cache_counters(cache)
     _write_json(args.out, payload)
     return 0
 
@@ -213,16 +234,18 @@ def cmd_gelu_sweep(args: argparse.Namespace) -> int:
     from repro.runner.tasks import fig7_gelu_rows
 
     samples = gelu_input_vectors(args.samples, seed=args.vectors_seed)
+    cache = _make_cache(args)
     rows = fig7_gelu_rows(
         samples,
         workers=args.workers,
-        cache=_make_cache(args),
+        cache=cache,
         reporter=_make_reporter(args, "gelu-sweep"),
     )
     stats = fig7_gelu_rows.last_run_stats
     headers = ["Series", "BSL", "ADP (um2*ns)", "MAE"]
     _print_table("fig7 gelu sweep", headers, rows)
     print(f"[{stats.summary()}]")
+    _print_cache_counters(cache)
     _write_json(args.out, {"headers": headers, "rows": [list(r) for r in rows]})
     return 0
 
@@ -242,16 +265,18 @@ def cmd_tables(args: argparse.Namespace) -> int:
     # still evaluate on a prefix of the exact vectors the bench uses.
     base_rows = max(args.rows, 200)
     logits = attention_logit_vectors(base_rows, 64, seed=args.vectors_seed)[: args.rows]
+    cache = _make_cache(args)
     rows = table4_rows(
         logits,
         workers=args.workers,
-        cache=_make_cache(args),
+        cache=cache,
         reporter=_make_reporter(args, "table4"),
     )
     stats = table4_rows.last_run_stats
     headers = ["Design", "Area (um2)", "Delay (ns)", "ADP (um2*ns)", "MAE"]
     _print_table("table4 softmax blocks", headers, rows)
     print(f"[{stats.summary()}]")
+    _print_cache_counters(cache)
     _write_json(args.out, {"headers": headers, "rows": [list(r) for r in rows]})
     return 0
 
@@ -314,11 +339,12 @@ def cmd_eval(args: argparse.Namespace) -> int:
         fault_seed=args.fault_seed,
     )
     reporter = _make_reporter(args, "eval")
+    cache = _make_cache(args)
     results = run_eval_grid(
         task,
         configs,
         workers=args.workers,
-        cache=_make_cache(args),
+        cache=cache,
         reporter=reporter,
     )
     stats = run_eval_grid.last_run_stats
@@ -339,6 +365,7 @@ def cmd_eval(args: argparse.Namespace) -> int:
     _print_table("eval accuracy grid", headers, rows)
     print(f"[{stats.summary()}]")
     print(f"re-evaluations: {stats.evaluated} ({stats.cache_hits} served from cache)")
+    _print_cache_counters(cache)
     # Wall-clock throughput over the whole grid, from the reporter's timer
     # (the same span the progress line covered).  Cache hits count images
     # too: serving a split from cache is the throughput the user got.
@@ -575,6 +602,7 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         raise SystemExit(str(exc)) from exc
 
     cache = _make_cache(args)
+    trace_dir = None if args.trace_dir is None else str(args.trace_dir)
     results = []
     evaluated = cache_hits = 0
     exit_code = 0
@@ -587,7 +615,7 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         # the sweep runs serially; the runner still provides the shared
         # content-addressed cache and its hit accounting.
         runner = ParallelSweepRunner(
-            ScenarioTask(base_dir=str(Path(path).parent)),
+            ScenarioTask(base_dir=str(Path(path).parent), trace_dir=trace_dir),
             workers=1,
             cache=cache,
             reporter=_make_reporter(args, f"scenario {label}"),
@@ -597,8 +625,16 @@ def cmd_scenario(args: argparse.Namespace) -> int:
         cache_hits += runner.stats.cache_hits
         results.append(result)
         _print_scenario_result(result, cached=runner.stats.cache_hits > 0)
+        if trace_dir is not None:
+            # The exported trace is a side artifact (never part of the
+            # cached payload); a cached result produces no new trace.
+            stem = (spec.name or "scenario").replace("/", "_")
+            trace_path = Path(trace_dir) / f"{stem}.trace.json"
+            if trace_path.exists():
+                print(f"trace: {trace_path}")
         if not result["ok"]:
             exit_code = 1
+    _print_cache_counters(cache)
     _write_scenario_job_summary(results)
     _write_json(
         args.out,
@@ -810,6 +846,7 @@ def cmd_fabric(args: argparse.Namespace) -> int:
             exit_code = 1
     if runs:
         out_payload["stats"] = {"evaluated": evaluated, "cache_hits": cache_hits}
+        _print_cache_counters(cache)
     _write_json(args.out, out_payload)
     return exit_code
 
@@ -907,11 +944,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve.deploy import build_deployment
     from repro.serve.transport import serve_http, serve_stdio
+    from repro.telemetry.logging import get_logger
 
-    def log(message: str) -> None:
-        # stdout belongs to the JSON-lines transport; operator chatter must
-        # never interleave with protocol responses.
-        print(message, file=sys.stderr)
+    # Structured logging to stderr: stdout belongs to the JSON-lines
+    # transport, so operator chatter must never interleave with protocol
+    # responses.  ``repro --log-level``/``--log-json`` control the format.
+    log = get_logger("serve")
 
     try:
         spec = _serve_spec_from_args(args)
@@ -919,29 +957,35 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as exc:
         raise SystemExit(str(exc)) from exc
     if args.spec is not None:
-        log(f"deployment spec: {args.spec}")
+        log.info("deployment_spec", path=str(args.spec))
     if spec.checkpoint is not None:
-        log(f"loaded checkpoint {spec.checkpoint}")
+        log.info("checkpoint_loaded", path=spec.checkpoint)
     service = deployment.service
     cache = deployment.cache
 
     async def run() -> None:
         async with service:
-            log(
-                f"serving {spec.dataset} model "
-                f"(engine={spec.engine}, workers={spec.workers}"
-                f"{'' if spec.max_shards is None else f'..{spec.max_shards}'}, "
-                f"flip_prob={spec.flip_prob}, backend={spec.backend or 'default'}) — "
-                f"max_batch={spec.max_batch}, max_wait_ms={spec.max_wait_ms}, "
-                f"queue={spec.max_queue}, "
-                f"cache={'off' if cache is None else spec.cache_dir}"
+            log.info(
+                "serving",
+                dataset=spec.dataset,
+                engine=spec.engine,
+                workers=spec.workers,
+                max_shards=spec.max_shards,
+                flip_prob=spec.flip_prob,
+                backend=spec.backend or "default",
+                max_batch=spec.max_batch,
+                max_wait_ms=spec.max_wait_ms,
+                queue=spec.max_queue,
+                cache="off" if cache is None else spec.cache_dir,
+                telemetry=spec.telemetry,
             )
             if spec.transport == "http":
                 server = await serve_http(service, spec.host, spec.port)
                 address = server.sockets[0].getsockname()
-                log(
-                    f"HTTP on http://{address[0]}:{address[1]} "
-                    "(POST /predict, GET /stats, GET /healthz; Ctrl-C stops)"
+                log.info(
+                    "http_listening",
+                    url=f"http://{address[0]}:{address[1]}",
+                    routes="POST /predict, GET /stats, GET /healthz, GET /metrics",
                 )
                 try:
                     await server.serve_forever()
@@ -954,20 +998,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     server.close()
                     await server.wait_closed()
             else:
-                log("JSON-lines on stdio (one request object per line; EOF stops)")
+                log.info("stdio_listening", protocol="one request object per line; EOF stops")
                 await serve_stdio(service)
             snapshot = service.stats_snapshot()
-            log(
-                f"served {snapshot['requests']['completed']} requests, "
-                f"{snapshot['cache']['hits']} cache hits, "
-                f"{snapshot['batching']['batches']} batches "
-                f"(mean size {snapshot['batching']['mean_batch_size']:.1f})"
+            log.info(
+                "served",
+                requests=snapshot["requests"]["completed"],
+                cache_hits=snapshot["cache"]["hits"],
+                batches=snapshot["batching"]["batches"],
+                mean_batch_size=round(snapshot["batching"]["mean_batch_size"], 1),
             )
 
     try:
         asyncio.run(run())
     except KeyboardInterrupt:
-        log("interrupted; shutting down")
+        log.info("interrupted")
     return 0
 
 
@@ -1374,6 +1419,85 @@ def _write_floor_job_summary(
 
 
 # ---------------------------------------------------------------------------
+# trace — summarize exported telemetry traces
+# ---------------------------------------------------------------------------
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import load_trace, summarize_trace
+
+    exit_code = 0
+    payload: dict = {"traces": {}}
+    for path in args.trace:
+        try:
+            document = load_trace(path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            raise SystemExit(str(exc)) from exc
+        summary = summarize_trace(document, top=args.top)
+        payload["traces"][str(path)] = summary
+        other = document.get("otherData", {})
+        scenario = other.get("scenario") if isinstance(other, dict) else None
+        label = f" (scenario {scenario})" if scenario else ""
+        print(
+            f"== trace {path}{label}: {summary['events']} events, "
+            f"{summary['spans']} spans, {summary['instants']} instants, "
+            f"{summary['traces']} request traces across "
+            f"{len(summary['processes'])} process(es) =="
+        )
+        _print_table(
+            "spans by name",
+            ["span", "count", "total (ms)", "mean (ms)", "max (ms)"],
+            [
+                (
+                    row["key"],
+                    row["count"],
+                    f"{row['total_ms']:.2f}",
+                    f"{row['mean_ms']:.3f}",
+                    f"{row['max_ms']:.3f}",
+                )
+                for row in summary["by_name"][: args.top]
+            ],
+        )
+        if len(summary["processes"]) > 1:
+            _print_table(
+                "spans by process (shard workers)",
+                ["pid", "count", "total (ms)", "mean (ms)", "max (ms)"],
+                [
+                    (
+                        row["key"],
+                        row["count"],
+                        f"{row['total_ms']:.2f}",
+                        f"{row['mean_ms']:.3f}",
+                        f"{row['max_ms']:.3f}",
+                    )
+                    for row in summary["by_process"]
+                ],
+            )
+        if summary["instant_names"]:
+            print(f"instant events: {', '.join(summary['instant_names'])}")
+        if summary["kernel_top"]:
+            _print_table(
+                f"kernel profile (top {args.top} of {summary['kernels_total']} by time)",
+                ["backend", "kernel", "calls", "words", "seconds"],
+                [
+                    (
+                        row.get("backend", "?"),
+                        row.get("kernel", "?"),
+                        row.get("calls", 0),
+                        row.get("words", 0),
+                        f"{float(row.get('seconds', 0.0)):.4f}",
+                    )
+                    for row in summary["kernel_top"]
+                ],
+            )
+        if summary["events"] == 0:
+            print("trace is empty (was telemetry enabled for the run?)", file=sys.stderr)
+            exit_code = 1
+    _write_json(args.out, payload)
+    return exit_code
+
+
+# ---------------------------------------------------------------------------
 # verify — orchestrator self-checks
 # ---------------------------------------------------------------------------
 
@@ -1708,6 +1832,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version", action="version", version=f"repro {__version__}"
     )
+    parser.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error", "critical"],
+        default="info",
+        help="diagnostic log verbosity (structured, stderr; stdout stays results-only)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit diagnostic logs as JSON lines instead of text",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_dse = sub.add_parser("dse", help="Fig. 8 softmax design-space exploration")
@@ -1779,6 +1914,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_scenario.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR, help=f"scenario-result cache directory (default: {DEFAULT_CACHE_DIR})")
     p_scenario.add_argument("--no-cache", action="store_true", help="disable the result cache (always drive the service fresh)")
     p_scenario.add_argument("--out", type=Path, default=None, help="write all scenario results as JSON to this path")
+    p_scenario.add_argument("--trace-dir", type=Path, default=None, help="export telemetry traces here (Chrome-trace JSON + JSONL per scenario; needs the deployment's telemetry field or REPRO_TELEMETRY=1)")
     p_scenario.add_argument("--quiet", action="store_true", help="suppress progress output")
     p_scenario.set_defaults(func=cmd_scenario)
 
@@ -1837,6 +1973,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--no-run", action="store_true", help="check the recorded results instead of re-running")
     p_bench.set_defaults(func=cmd_bench)
 
+    p_trace = sub.add_parser("trace", help="summarize exported telemetry traces")
+    p_trace.add_argument("trace", nargs="+", type=Path, help="trace file(s): Chrome-trace JSON (*.trace.json) or JSONL event stream (*.trace.jsonl)")
+    p_trace.add_argument("--top", type=int, default=10, help="rows per table (span names, kernel profile)")
+    p_trace.add_argument("--out", type=Path, default=None, help="write the summaries as JSON to this path")
+    p_trace.set_defaults(func=cmd_trace)
+
     p_verify = sub.add_parser("verify", help="orchestrator self-checks")
     p_verify.add_argument("--workers", type=int, default=2)
     p_verify.set_defaults(func=cmd_verify)
@@ -1846,6 +1988,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    from repro.telemetry.logging import configure_logging
+
+    configure_logging(level=args.log_level, json_lines=args.log_json)
     return args.func(args)
 
 

@@ -129,6 +129,22 @@ class FabricEngine(PipelineEngine):
             self.replacements += 1
             return tile
 
+    # ------------------------------------------------------------------ stats
+    def stats_snapshot(self) -> dict:
+        """Fabric lifecycle counters (folded into ``/stats`` and ``/metrics``)."""
+        with self._fabric_lock:
+            reconfigure = dict(self.last_reconfigure)
+        return {
+            "engine": "fabric",
+            "lifecycle": {
+                "deaths": int(self.deaths),
+                "replacements": int(self.replacements),
+                "dead_tiles": len(self.fabric.dead_tiles),
+                "workers": int(self.workers),
+            },
+            "reconfigure": reconfigure,
+        }
+
     # ------------------------------------------------------------- execution
     def _pipeline(self):
         pipeline = super()._pipeline()

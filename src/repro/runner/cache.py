@@ -162,6 +162,11 @@ class ResultCache:
     def __init__(self, root: Union[str, Path], code_version: Optional[str] = None) -> None:
         self.root = Path(root)
         self.code_version = default_code_version() if code_version is None else str(code_version)
+        # Plain-int hit/miss/store accounting for run summaries and /metrics;
+        # observational only (never part of any key or payload).
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
 
     # ------------------------------------------------------------------ keys
     def key(self, task_name: str, config_key: Any, version: str = "") -> str:
@@ -186,8 +191,10 @@ class ResultCache:
         try:
             document = json.loads(path.read_text())
         except (OSError, ValueError):
+            self.misses += 1
             return None
         if not isinstance(document, dict) or "payload" not in document:
+            self.misses += 1
             return None  # foreign or stale-format file: treat as a miss
         arrays: Dict[str, np.ndarray] = {}
         if document.get("has_arrays"):
@@ -195,7 +202,9 @@ class ResultCache:
                 with np.load(self._npz_path(digest)) as npz:
                     arrays = {name: npz[name] for name in npz.files}
             except (OSError, ValueError):
+                self.misses += 1
                 return None
+        self.hits += 1
         return CachedResult(payload=document["payload"], arrays=arrays)
 
     def store(self, digest: str, payload: Any, arrays: Optional[Mapping[str, np.ndarray]] = None) -> None:
@@ -223,6 +232,11 @@ class ResultCache:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+        self.stores += 1
+
+    def counters(self) -> Dict[str, int]:
+        """Hit/miss/store totals since construction (JSON-able)."""
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
 
     # ------------------------------------------------------------------ misc
     def __contains__(self, digest: str) -> bool:

@@ -397,15 +397,32 @@ class ScenarioTask(SweepTask):
     cached result replays the *original* run's observations — exactly the
     sweep-cache semantics (a cached DSE row also replays its original
     evaluation).  Pass ``--no-cache`` to force a fresh drive.
+
+    The deployment's ``telemetry`` field is stripped from the cache
+    identity (:meth:`config_key`): telemetry is observational by contract,
+    so a scenario run with tracing on must hit the same cache entry — and
+    produce the same payload — as one with tracing off.
     """
 
     #: Directory relative ``trace_path`` entries resolve against.
     base_dir: Optional[str] = None
+    #: Directory trace exports land in when telemetry is on (never cached).
+    trace_dir: Optional[str] = None
 
     name = "scenario"
 
     def config_key(self, config: Dict[str, Any]) -> Dict[str, Any]:
-        return dict(config)
+        key = dict(config)
+        params = key.get("params")
+        if isinstance(params, dict):
+            params = dict(params)
+            deployment = params.get("deployment")
+            if isinstance(deployment, dict) and "telemetry" in deployment:
+                deployment = dict(deployment)
+                del deployment["telemetry"]
+                params["deployment"] = deployment
+            key["params"] = params
+        return key
 
     def evaluate(self, config: Dict[str, Any], seed: int) -> Dict[str, Any]:
         # Deterministic in everything the assertions judge except wall-clock
@@ -414,7 +431,7 @@ class ScenarioTask(SweepTask):
         from repro.scenarios import ScenarioRunner, ScenarioSpec
 
         spec = ScenarioSpec.from_dict(config)
-        return ScenarioRunner(spec, base_dir=self.base_dir).run()
+        return ScenarioRunner(spec, base_dir=self.base_dir, trace_dir=self.trace_dir).run()
 
 
 # ---------------------------------------------------------------------------

@@ -50,6 +50,7 @@ __all__ = [
     "available_backends",
     "get_backend",
     "active_backend",
+    "install_instrumentation",
     "set_backend",
     "use_backend",
 ]
@@ -67,6 +68,26 @@ _instances: Dict[str, KernelBackend] = {}
 _context_stack: List[str] = []
 _forced_name: Optional[str] = None
 _warned_unavailable = set()
+
+#: Optional instrumentation hook (``repro.telemetry`` kernel profiling):
+#: a callable wrapping the resolved backend instance.  ``None`` — the
+#: default — keeps :func:`active_backend` on the raw instance with a
+#: single ``is None`` check of overhead, which is the telemetry layer's
+#: zero-cost-when-off contract at this seam.
+_instrument = None
+
+
+def install_instrumentation(wrapper) -> None:
+    """Install (or with ``None`` remove) the backend instrumentation hook.
+
+    ``wrapper`` receives the resolved :class:`KernelBackend` instance on
+    every :func:`active_backend` call and returns the instance to hand to
+    the engine (typically a cached delegating proxy — see
+    :mod:`repro.telemetry.profiling`).  Wrapped backends must stay
+    bit-identical: the hook is observational only.
+    """
+    global _instrument
+    _instrument = wrapper
 
 
 def available_backends() -> List[str]:
@@ -112,15 +133,7 @@ def get_backend(name: str) -> KernelBackend:
     return instance
 
 
-def active_backend() -> KernelBackend:
-    """The backend the engine's kernels are currently routed through.
-
-    Resolution order: :func:`set_backend`'s forced name, the innermost
-    :func:`use_backend` context, the ``REPRO_SC_BACKEND`` environment
-    variable, then ``"numpy"``.  Unknown names in the environment variable
-    warn (once per name) rather than raise, so a typo in a shell profile
-    cannot brick every seeded run.
-    """
+def _resolve_active() -> KernelBackend:
     if _forced_name is not None:
         return get_backend(_forced_name)
     if _context_stack:
@@ -131,6 +144,25 @@ def active_backend() -> KernelBackend:
             return get_backend(env_name)
         _fallback_warning(env_name, f"unknown name in ${BACKEND_ENV_VAR}")
     return get_backend("numpy")
+
+
+def active_backend() -> KernelBackend:
+    """The backend the engine's kernels are currently routed through.
+
+    Resolution order: :func:`set_backend`'s forced name, the innermost
+    :func:`use_backend` context, the ``REPRO_SC_BACKEND`` environment
+    variable, then ``"numpy"``.  Unknown names in the environment variable
+    warn (once per name) rather than raise, so a typo in a shell profile
+    cannot brick every seeded run.
+
+    When an instrumentation hook is installed
+    (:func:`install_instrumentation`), the resolved instance passes
+    through it; otherwise it is returned raw.
+    """
+    backend = _resolve_active()
+    if _instrument is None:
+        return backend
+    return _instrument(backend)
 
 
 def set_backend(name: Optional[str], force: bool = False) -> Optional[str]:

@@ -39,15 +39,20 @@ express SLOs as generous ceilings rather than exact values.
 from __future__ import annotations
 
 import asyncio
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.scenarios.assertions import ScenarioOutcome, evaluate_assertions
 from repro.scenarios.specs import EventSpec, ScenarioSpec
 from repro.scenarios.workload import Workload, generate_workload, workload_digest
+from repro.telemetry.logging import get_logger
 
 __all__ = ["ScenarioError", "ScenarioRunner"]
+
+_log = get_logger("scenario")
 
 #: How long a recovery watcher waits for killed capacity to return.
 RECOVERY_DEADLINE_S = 30.0
@@ -80,6 +85,12 @@ class ScenarioRunner:
         the deployment's replicas use.
     max_inflight:
         Bound on concurrently awaited submissions (soak-run memory guard).
+    trace_dir:
+        Directory trace exports land in when telemetry is on (via the
+        deployment's ``telemetry`` field or ``REPRO_TELEMETRY``); ``None``
+        skips export.  The trace is a side artifact: it never enters the
+        result payload, so cached scenario results stay byte-identical
+        with telemetry on or off.
     """
 
     def __init__(
@@ -89,6 +100,7 @@ class ScenarioRunner:
         deployment: Optional[Any] = None,
         offline_predict: Optional[Callable[[np.ndarray, np.ndarray], np.ndarray]] = None,
         max_inflight: int = 4096,
+        trace_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if max_inflight <= 0:
             raise ValueError("max_inflight must be positive")
@@ -97,14 +109,42 @@ class ScenarioRunner:
         self._deployment = deployment
         self._offline_predict = offline_predict
         self.max_inflight = int(max_inflight)
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self.last_trace_path: Optional[Path] = None
 
     # ------------------------------------------------------------------- run
     def run(self) -> Dict[str, Any]:
         """Execute the scenario; returns the JSON-able result payload."""
+        # Spec-driven telemetry must be live before the deployment builds
+        # (also covers the pre-built-deployment test seam, which skips
+        # build_deployment's own activation).
+        if self.spec.deployment.telemetry:
+            telemetry.enable()
+        else:
+            telemetry.activate()
         workload = generate_workload(self.spec.workload, base_dir=self.base_dir)
         images = self._image_pool()
         result = asyncio.run(self._drive(workload, images))
+        self._export_trace()
         return self._finalise(workload, images, result)
+
+    def _export_trace(self) -> None:
+        """Write the run's trace (Chrome JSON + JSONL) into ``trace_dir``."""
+        self.last_trace_path = None
+        if self.trace_dir is None or not telemetry.enabled():
+            return
+        tracer = telemetry.get_tracer()
+        if len(tracer) == 0:
+            return
+        stem = (self.spec.name or "scenario").replace("/", "_")
+        other_data = {
+            "scenario": self.spec.name,
+            "kernel_profile": telemetry.get_profiler().snapshot(),
+            "metrics": telemetry.get_registry().snapshot(),
+        }
+        self.last_trace_path = tracer.export(self.trace_dir / f"{stem}.trace.json", other_data=other_data)
+        tracer.export_jsonl(self.trace_dir / f"{stem}.trace.jsonl")
+        _log.info("trace_exported", path=str(self.last_trace_path), events=len(tracer))
 
     # ------------------------------------------------------------ components
     def _image_pool(self) -> np.ndarray:
@@ -166,6 +206,12 @@ class ScenarioRunner:
 
             deployment = build_deployment(spec.deployment)
 
+        tracer = telemetry.get_tracer()
+        trace_on = telemetry.enabled()
+        run_span = (
+            tracer.begin("scenario.run", cat="scenario", scenario=spec.name) if trace_on else None
+        )
+
         n = len(workload)
         schedule = self._expand_events(spec.events, n)
         records: List[Dict[str, Any]] = []
@@ -199,7 +245,11 @@ class ScenarioRunner:
                 inflight.release()
 
         async def watch_recovery(
-            engine: Any, baseline: int, deaths_before: int, entry: Dict[str, Any]
+            engine: Any,
+            baseline: int,
+            deaths_before: int,
+            entry: Dict[str, Any],
+            span: Optional[Any] = None,
         ) -> None:
             """Measure kill -> capacity-restored.
 
@@ -222,10 +272,16 @@ class ScenarioRunner:
                     recovery = (loop.time() - killed_at) * 1000.0
                     entry["recovery_ms"] = recovery
                     recoveries.append(recovery)
+                    if span is not None:
+                        tracer.end(span, recovered=True, recovery_ms=recovery)
+                    _log.info("recovered", recovery_ms=round(recovery, 3))
                     return
                 await asyncio.sleep(0.005)
             entry["recovery_ms"] = None
             recoveries.append(None)
+            if span is not None:
+                tracer.end(span, recovered=False)
+            _log.warning("recovery_deadline_missed", deadline_s=RECOVERY_DEADLINE_S)
 
         def snapshot_entry(label: str, at_request: int, started: float) -> Dict[str, Any]:
             snap = deployment.service.stats_snapshot()
@@ -254,6 +310,19 @@ class ScenarioRunner:
                 "at_request": ordinal,
                 "t_s": round(loop.time() - started, 6),
             }
+            _log.info("event_fired", action=event.action, at_request=ordinal)
+            # Kill events get a span covering injection -> recovery (the
+            # recovery watcher closes it); everything else is an instant.
+            event_span = None
+            if trace_on:
+                if event.action in ("kill_shard", "dead_tile"):
+                    event_span = tracer.begin(
+                        f"chaos.{event.action}", cat="scenario", parent=run_span, at_request=ordinal
+                    )
+                else:
+                    tracer.instant(
+                        f"event.{event.action}", cat="scenario", parent=run_span, at_request=ordinal
+                    )
             if event.action == "kill_shard":
                 kill = getattr(deployment.engine, "kill_shard", None)
                 if not callable(kill):
@@ -273,9 +342,10 @@ class ScenarioRunner:
                 entry["slot"] = kill(event.slot)
                 recovery_tasks.append(
                     asyncio.create_task(
-                        watch_recovery(engine, baseline, deaths_before, entry)
+                        watch_recovery(engine, baseline, deaths_before, entry, span=event_span)
                     )
                 )
+                event_span = None  # the watcher owns (and closes) it now
             elif event.action == "dead_tile":
                 kill = getattr(deployment.engine, "kill_tile", None)
                 if not callable(kill):
@@ -292,9 +362,10 @@ class ScenarioRunner:
                 entry["tile"] = kill(event.slot)
                 recovery_tasks.append(
                     asyncio.create_task(
-                        watch_recovery(engine, baseline, deaths_before, entry)
+                        watch_recovery(engine, baseline, deaths_before, entry, span=event_span)
                     )
                 )
+                event_span = None  # the watcher owns (and closes) it now
             elif event.action == "cache_loss":
                 if deployment.cache is not None:
                     entry["dropped_entries"] = len(deployment.cache)
@@ -315,12 +386,21 @@ class ScenarioRunner:
                         asyncio.create_task(one(pool_idx, pool_idx + offset, burst_records))
                     )
                 entry["count"] = event.count
+            if event_span is not None:
+                # Non-recovery chaos (or a kill with nothing to kill): the
+                # span covers just the injection itself.
+                tracer.end(event_span)
             events_log.append(entry)
             timeline.append(snapshot_entry(f"event:{event.action}", ordinal, started))
 
         async with deployment:
             started = loop.time()
             timeline.append(snapshot_entry("start", 0, started))
+            submit_span = (
+                tracer.begin("scenario.submit", cat="scenario", parent=run_span, requests=n)
+                if trace_on
+                else None
+            )
             pending_events = list(schedule)
             for i in range(n):
                 while pending_events and pending_events[0][0] <= i:
@@ -337,10 +417,17 @@ class ScenarioRunner:
                 )
             for ordinal, event in pending_events:
                 await fire_event(event, ordinal, started)
+            if submit_span is not None:
+                tracer.end(submit_span)
+            drain_span = (
+                tracer.begin("scenario.drain", cat="scenario", parent=run_span) if trace_on else None
+            )
             if tasks:
                 await asyncio.gather(*tasks)
             if recovery_tasks:
                 await asyncio.gather(*recovery_tasks)
+            if drain_span is not None:
+                tracer.end(drain_span)
             elapsed = loop.time() - started
             timeline.append(snapshot_entry("end", n, started))
             final_stats = deployment.service.stats_snapshot()
@@ -357,6 +444,9 @@ class ScenarioRunner:
                 scale_actions = max(0, spawned - int(min_shards) - deaths) + retired
             else:
                 scale_actions = 0
+
+        if run_span is not None:
+            tracer.end(run_span, deaths=deaths, scale_actions=scale_actions)
 
         return {
             "records": records,

@@ -68,7 +68,7 @@ from repro.serve.service import (
 from repro.serve.sharded import ShardedProcessEngine, build_sharded_engine
 from repro.serve.specs import ServeSpec
 from repro.serve.stats import ServiceStats
-from repro.serve.transport import handle_message, serve_http, serve_stdio
+from repro.serve.transport import handle_message, render_metrics, serve_http, serve_stdio
 
 __all__ = [
     "Deployment",
@@ -93,6 +93,7 @@ __all__ = [
     "build_sharded_engine",
     "handle_message",
     "pipeline_fingerprint",
+    "render_metrics",
     "request_fingerprint",
     "serve_http",
     "serve_stdio",

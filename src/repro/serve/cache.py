@@ -75,6 +75,11 @@ class PredictionCache:
         self.backing = backing
         self.max_entries = int(max_entries)
         self._memory: "OrderedDict[str, int]" = OrderedDict()
+        # Plain-int accounting (not gated on telemetry: always cheap, and the
+        # run/scenario summaries report them whether or not tracing is on).
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -83,20 +88,28 @@ class PredictionCache:
         """The cached prediction for ``key``, or ``None`` on a miss."""
         if key in self._memory:
             self._memory.move_to_end(key)
+            self.hits += 1
             return self._memory[key]
         if self.backing is not None:
             hit = self.backing.load(key)
             if hit is not None and isinstance(hit.payload, dict) and "prediction" in hit.payload:
                 prediction = int(hit.payload["prediction"])
                 self._remember(key, prediction)
+                self.hits += 1
                 return prediction
+        self.misses += 1
         return None
 
     def put(self, key: str, prediction: int) -> None:
         """Store one prediction (write-through when disk-backed)."""
         self._remember(key, int(prediction))
+        self.stores += 1
         if self.backing is not None:
             self.backing.store(key, {"prediction": int(prediction)})
+
+    def counters(self) -> Dict[str, int]:
+        """Hit/miss/store totals since construction (JSON-able)."""
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
 
     def clear(self, drop_backing: bool = False) -> None:
         """Forget every in-memory entry; optionally detach the disk backing.
@@ -266,6 +279,14 @@ class ShardedPredictionCache:
     def partition_sizes(self) -> Dict[int, int]:
         """Entries held per partition (the balance a /stats reader checks)."""
         return {shard: len(cache) for shard, cache in sorted(self._partitions.items())}
+
+    def counters(self) -> Dict[str, int]:
+        """Hit/miss/store totals summed over every partition."""
+        totals = {"hits": 0, "misses": 0, "stores": 0}
+        for cache in self._partitions.values():
+            for name, value in cache.counters().items():
+                totals[name] += value
+        return totals
 
     def __len__(self) -> int:
         return sum(len(cache) for cache in self._partitions.values())

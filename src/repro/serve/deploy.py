@@ -144,6 +144,17 @@ def build_deployment(spec: ServeSpec, code_version: Optional[str] = None) -> "De
     field (threaded through every replica's forwards via
     :func:`repro.sc.backends.use_backend`), and wires the cache policy.
     """
+    from repro import telemetry
+
+    if spec.telemetry:
+        # Spec-driven enablement: force the plane on (and install the
+        # kernel-profiling hook) before the engine builds, so even
+        # construction-time kernel work is observed.
+        telemetry.enable()
+    else:
+        # Env-driven (`REPRO_TELEMETRY=1`) enablement still installs hooks.
+        telemetry.activate()
+
     factory = build_replica_factory(spec)
 
     if spec.engine == "process":

@@ -36,9 +36,11 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.serve.batcher import SHUTDOWN, DynamicBatcher
 from repro.serve.cache import PredictionCache, request_fingerprint
 from repro.serve.stats import ServiceStats
+from repro.telemetry.tracer import push_context
 
 __all__ = [
     "InferenceService",
@@ -75,14 +77,22 @@ class PredictionResult:
 class _Pending:
     """Internal queue entry: one request awaiting a micro-batch."""
 
-    __slots__ = ("image", "index", "key", "future", "arrived_at")
+    __slots__ = ("image", "index", "key", "future", "arrived_at", "ctx")
 
-    def __init__(self, image: np.ndarray, index: int, key: Optional[str], future: "asyncio.Future") -> None:
+    def __init__(
+        self,
+        image: np.ndarray,
+        index: int,
+        key: Optional[str],
+        future: "asyncio.Future",
+        ctx: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.image = image
         self.index = index
         self.key = key
         self.future = future
         self.arrived_at = time.monotonic()
+        self.ctx = ctx  # trace context of the submitting request (or None)
 
 
 class InferenceService:
@@ -138,6 +148,8 @@ class InferenceService:
         self._batch_tasks: set = set()
         self._started = False
         self._closed = False
+        self._trace_on = False
+        self._tracer = telemetry.get_tracer()
 
     # ------------------------------------------------------------- lifecycle
     async def start(self) -> None:
@@ -148,6 +160,10 @@ class InferenceService:
             from repro.runner.cache import default_code_version
 
             self._code_version = default_code_version()
+        # Enablement is read at start (not construction) so a deploy/scenario
+        # entry point that flips telemetry on still covers this service.
+        self._trace_on = telemetry.enabled()
+        self._tracer = telemetry.get_tracer()
         self.engine.start()
         self._queue = asyncio.Queue(maxsize=self.max_queue)
         self._batcher = DynamicBatcher(self._queue, self.max_batch, self.max_wait_ms)
@@ -201,6 +217,11 @@ class InferenceService:
         image = self._check_image(image)
         index = int(index)
         self.stats.record_submitted()
+        span = (
+            self._tracer.begin("service.request", cat="service", index=index, request_id=request_id)
+            if self._trace_on
+            else None
+        )
 
         key: Optional[str] = None
         coalesced = False
@@ -217,6 +238,8 @@ class InferenceService:
             if hit is not None:
                 latency_ms = (time.monotonic() - arrived) * 1000.0
                 self.stats.record_completed(latency_ms, cached=True)
+                if span is not None:
+                    self._tracer.end(span, outcome="cache_hit")
                 return PredictionResult(
                     prediction=hit, cached=True, latency_ms=latency_ms, request_id=request_id
                 )
@@ -224,8 +247,9 @@ class InferenceService:
             coalesced = future is not None
 
         if future is None:
+            ctx = self._tracer.context_of(span) if span is not None else None
             future = asyncio.get_running_loop().create_future()
-            pending = _Pending(image, index, key, future)
+            pending = _Pending(image, index, key, future, ctx=ctx)
             if key is not None:
                 self._inflight[key] = future
             try:
@@ -233,6 +257,8 @@ class InferenceService:
             except asyncio.QueueFull:
                 self._inflight.pop(key, None)
                 self.stats.record_rejected()
+                if span is not None:
+                    self._tracer.end(span, outcome="rejected")
                 raise ServiceOverloaded(
                     f"request queue full ({self.max_queue} pending); retry later"
                 ) from None
@@ -243,12 +269,20 @@ class InferenceService:
             prediction = await asyncio.wait_for(asyncio.shield(future), self.request_timeout_s)
         except asyncio.TimeoutError:
             self.stats.record_timeout()
+            if span is not None:
+                self._tracer.end(span, outcome="timeout")
             raise RequestTimeout(
                 f"no result within {self.request_timeout_s:g}s "
                 f"(queue depth {self._queue.qsize()})"
             ) from None
+        except Exception:
+            if span is not None:
+                self._tracer.end(span, outcome="error")
+            raise
         latency_ms = (time.monotonic() - arrived) * 1000.0
         self.stats.record_completed(latency_ms, coalesced=coalesced)
+        if span is not None:
+            self._tracer.end(span, outcome="coalesced" if coalesced else "computed")
         return PredictionResult(
             prediction=int(prediction),
             cached=False,
@@ -289,10 +323,21 @@ class InferenceService:
                 observe_load(self._queue.qsize())
                 self._sync_worker_slots()
             await self._worker_slots.acquire()
+            collect = (
+                self._tracer.begin("batcher.collect", cat="batcher") if self._trace_on else None
+            )
             batch = await self._batcher.next_batch()
             if batch is None:
                 self._worker_slots.release()
                 return
+            if collect is not None:
+                # Re-home the span onto the first batched request's trace so
+                # the collect slice nests under the request that opened it.
+                first_ctx = batch[0].ctx
+                if first_ctx is not None:
+                    collect.trace_id = first_ctx.get("trace_id", collect.trace_id)
+                    collect.parent_id = first_ctx.get("span_id")
+                self._tracer.end(collect, batch_size=len(batch))
             task = asyncio.create_task(self._execute(batch))
             self._batch_tasks.add(task)
             task.add_done_callback(self._on_batch_done)
@@ -309,15 +354,34 @@ class InferenceService:
 
     async def _execute(self, batch) -> None:
         loop = asyncio.get_running_loop()
+        batch_span = None
+        if self._trace_on:
+            batch_span = self._tracer.begin(
+                "service.batch", cat="service", parent=batch[0].ctx, requests=len(batch)
+            )
         try:
             # Inside the try: with engines that declare no image_shape a
             # ragged batch makes np.stack itself raise, and that failure must
             # reach the request futures, not strand them until timeout.
             images = np.stack([pending.image for pending in batch])
             indices = np.asarray([pending.index for pending in batch], dtype=np.int64)
-            predictions = await loop.run_in_executor(
-                self.engine.executor, self.engine.run, images, indices
-            )
+            if batch_span is not None:
+                ctx = self._tracer.context_of(batch_span)
+                tracer = self._tracer
+
+                def run_traced():
+                    # The executor hop drops asyncio context; re-install the
+                    # batch context thread-locally so the engine's dispatch
+                    # spans (sharded engine) parent correctly.
+                    with push_context(ctx):
+                        with tracer.span("engine.run", cat="engine", parent=ctx, batch_size=len(batch)):
+                            return self.engine.run(images, indices)
+
+                predictions = await loop.run_in_executor(self.engine.executor, run_traced)
+            else:
+                predictions = await loop.run_in_executor(
+                    self.engine.executor, self.engine.run, images, indices
+                )
         except Exception as exc:
             for pending in batch:
                 if pending.key is not None:
@@ -327,8 +391,12 @@ class InferenceService:
                     pending.future.set_exception(
                         RuntimeError(f"inference batch failed: {exc!r}")
                     )
+            if batch_span is not None:
+                self._tracer.end(batch_span, outcome="error")
             return
         self.stats.record_batch(len(batch))
+        if batch_span is not None:
+            self._tracer.end(batch_span, outcome="ok")
         for pending, prediction in zip(batch, predictions):
             prediction = int(prediction)
             if pending.key is not None:
@@ -352,6 +420,12 @@ class InferenceService:
             "cache_enabled": self.cache is not None,
             "flip_prob": float(getattr(self.engine, "flip_prob", 0.0)),
         }
+        cache_counters = getattr(self.cache, "counters", None)
+        if callable(cache_counters):
+            # ServiceStats already reports request-level "hits"; the cache's
+            # own counters add the miss/store side of the ledger.
+            counters = cache_counters()
+            snapshot["cache"].update(misses=counters["misses"], stores=counters["stores"])
         engine_snapshot = getattr(self.engine, "stats_snapshot", None)
         if callable(engine_snapshot):
             # Sharded engines report per-shard + merged compute accounting.

@@ -51,8 +51,10 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.serve.engine import ReplicaFactory, pipeline_fingerprint
 from repro.serve.stats import ServiceStats
+from repro.telemetry.tracer import Tracer, current_context
 
 __all__ = [
     "ShardedProcessEngine",
@@ -104,6 +106,8 @@ def _shard_main(conn, factory: ReplicaFactory) -> None:
     every shard's pipeline state is provably independent; bit-identity
     across shards follows from :class:`ReplicaFactory` determinism.
     """
+    tracer: Optional[Tracer] = None
+    profiler = None
     try:
         pipeline = factory()
         conn.send_bytes(pack_frame("ready", pid=os.getpid()))
@@ -115,16 +119,44 @@ def _shard_main(conn, factory: ReplicaFactory) -> None:
             if op != "predict":  # protocol error: surface, keep serving
                 conn.send_bytes(pack_frame("error", job=meta.get("job"), error=f"unknown op {op!r}"))
                 continue
+            # The parent attaches a trace context only when telemetry is on;
+            # its presence is the worker's whole enablement signal, so the
+            # child needs no environment or spec plumbing of its own.
+            ctx = meta.get("trace")
+            span = None
+            if ctx is not None:
+                if tracer is None:
+                    tracer = Tracer()
+                    from repro.telemetry.profiling import get_profiler, install
+
+                    install()
+                    profiler = get_profiler()
+                profiler.clear()  # single-threaded worker: snapshot == delta
+                span = tracer.begin(
+                    "shard.predict",
+                    cat="worker",
+                    parent=ctx,
+                    batch_size=int(len(arrays.get("indices", ()))),
+                )
             try:
                 predictions = pipeline.predict_batch(arrays["images"], arrays["indices"])
+                extra = {}
+                if span is not None:
+                    tracer.end(span)
+                    extra = {"spans": tracer.events(), "kernel_profile": profiler.snapshot()}
+                    tracer.clear()
                 conn.send_bytes(
                     pack_frame(
                         "result",
                         {"predictions": np.asarray(predictions, dtype=np.int64)},
                         job=meta["job"],
+                        **extra,
                     )
                 )
             except Exception as exc:  # deterministic failure -> report, don't die
+                if span is not None:
+                    tracer.end(span, outcome="error")
+                    tracer.clear()
                 conn.send_bytes(
                     pack_frame("error", job=meta["job"], error=f"{type(exc).__name__}: {exc}")
                 )
@@ -462,44 +494,75 @@ class ShardedProcessEngine:
             job = self._job_counter
         started = time.monotonic()
         deadline = started + self.dispatch_timeout_s
-        with shard.lock:
-            shard.stats.record_submitted()
-            try:
-                shard.conn.send_bytes(
-                    pack_frame(
-                        "predict",
-                        {
-                            "images": np.asarray(images, dtype=float),
-                            "indices": np.asarray(indices, dtype=np.int64),
-                        },
-                        job=job,
-                    )
-                )
-                # Poll in slices so a SIGKILLed worker is noticed in ~50ms
-                # instead of hanging the dispatcher on a dead pipe.
-                while not shard.conn.poll(0.05):
-                    if not shard.process.is_alive():
-                        raise _ShardDied(f"shard {shard.label} died mid-batch")
-                    if time.monotonic() > deadline:
-                        raise _ShardDied(
-                            f"shard {shard.label} silent for {self.dispatch_timeout_s:g}s; presumed wedged"
+        # Trace context is installed thread-locally by the service's traced
+        # engine.run closure; absent (tracing off / direct engine use) the
+        # dispatch carries no telemetry at all.
+        parent_ctx = current_context()
+        tracer = telemetry.get_tracer() if parent_ctx is not None else None
+        dispatch_span = (
+            tracer.begin(
+                "shard.dispatch", cat="engine", parent=parent_ctx, shard=shard.label, job=job
+            )
+            if tracer is not None
+            else None
+        )
+        meta: Dict[str, Any] = {"job": job}
+        if dispatch_span is not None:
+            meta["trace"] = tracer.context_of(dispatch_span)
+        outcome = "shard_died"
+        try:
+            with shard.lock:
+                shard.stats.record_submitted()
+                try:
+                    shard.conn.send_bytes(
+                        pack_frame(
+                            "predict",
+                            {
+                                "images": np.asarray(images, dtype=float),
+                                "indices": np.asarray(indices, dtype=np.int64),
+                            },
+                            **meta,
                         )
-                blob = shard.conn.recv_bytes()
-            except (BrokenPipeError, EOFError, OSError) as exc:
-                raise _ShardDied(f"shard {shard.label} pipe failed: {exc}") from None
-            try:
-                op, arrays, meta = unpack_frame(blob)
-            except Exception as exc:  # truncated frame from a dying worker
-                raise _ShardDied(f"shard {shard.label} sent a corrupt frame: {exc}") from None
-            if meta.get("job") != job:
-                raise _ShardDied(f"shard {shard.label} desynced (job {meta.get('job')} != {job})")
-            if op == "error":
-                shard.stats.record_error()
-                raise RuntimeError(f"shard {shard.label}: {meta.get('error')}")
-            latency_ms = (time.monotonic() - started) * 1000.0
-            shard.stats.record_batch(int(len(indices)))
-            shard.stats.record_completed(latency_ms)
-            return arrays["predictions"].astype(np.int64)
+                    )
+                    # Poll in slices so a SIGKILLed worker is noticed in ~50ms
+                    # instead of hanging the dispatcher on a dead pipe.
+                    while not shard.conn.poll(0.05):
+                        if not shard.process.is_alive():
+                            raise _ShardDied(f"shard {shard.label} died mid-batch")
+                        if time.monotonic() > deadline:
+                            raise _ShardDied(
+                                f"shard {shard.label} silent for {self.dispatch_timeout_s:g}s; presumed wedged"
+                            )
+                    blob = shard.conn.recv_bytes()
+                except (BrokenPipeError, EOFError, OSError) as exc:
+                    raise _ShardDied(f"shard {shard.label} pipe failed: {exc}") from None
+                try:
+                    op, arrays, reply = unpack_frame(blob)
+                except Exception as exc:  # truncated frame from a dying worker
+                    raise _ShardDied(f"shard {shard.label} sent a corrupt frame: {exc}") from None
+                if reply.get("job") != job:
+                    raise _ShardDied(f"shard {shard.label} desynced (job {reply.get('job')} != {job})")
+                if op == "error":
+                    shard.stats.record_error()
+                    outcome = "worker_error"
+                    raise RuntimeError(f"shard {shard.label}: {reply.get('error')}")
+                latency_ms = (time.monotonic() - started) * 1000.0
+                shard.stats.record_batch(int(len(indices)))
+                shard.stats.record_completed(latency_ms)
+                if dispatch_span is not None:
+                    # Adopt the worker's finished spans and fold its per-batch
+                    # kernel-profile delta into the parent-side profiler.
+                    worker_spans = reply.get("spans")
+                    if worker_spans:
+                        tracer.ingest(worker_spans)
+                    worker_profile = reply.get("kernel_profile")
+                    if worker_profile:
+                        telemetry.get_profiler().merge(worker_profile)
+                outcome = "ok"
+                return arrays["predictions"].astype(np.int64)
+        finally:
+            if dispatch_span is not None:
+                tracer.end(dispatch_span, outcome=outcome)
 
     # ------------------------------------------------------------ autoscaling
     def observe_load(self, queue_depth: int) -> None:

@@ -124,6 +124,11 @@ class ServeSpec:
     transport: str = "stdio"
     host: str = "127.0.0.1"
     port: int = 8765
+    # observability — spans + kernel profiling for this deployment.  Purely
+    # observational: excluded from the engine fingerprint, request cache
+    # keys and scenario cache identity (ScenarioTask strips it), so a spec
+    # with telemetry on serves bit-identical predictions to one without.
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.dataset not in _DATASETS:
@@ -160,6 +165,8 @@ class ServeSpec:
             raise ValueError(f"checkpoint must be a path string or null, got {self.checkpoint!r}")
         if not 0 <= int(self.port) <= 65535:
             raise ValueError(f"port must be in [0, 65535], got {self.port!r}")
+        if not isinstance(self.telemetry, bool):
+            raise ValueError(f"telemetry must be a bool, got {self.telemetry!r}")
 
     # ------------------------------------------------------------- round trip
     def to_dict(self) -> Dict[str, Any]:

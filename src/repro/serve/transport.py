@@ -4,7 +4,8 @@ Both transports are thin adapters over one transport-agnostic entry point,
 :func:`handle_message`, so the protocol semantics (and their tests) live in
 exactly one place.  No third-party dependency: the HTTP side is a minimal
 HTTP/1.1 request parser on ``asyncio.start_server``, enough for
-``POST /predict`` / ``GET /stats`` / ``GET /healthz`` from any client.
+``POST /predict`` / ``GET /stats`` / ``GET /healthz`` / ``GET /metrics``
+(Prometheus text exposition) from any client.
 
 Protocol (JSON object per message / per HTTP body):
 
@@ -39,7 +40,7 @@ from repro.serve.service import (
     ServiceOverloaded,
 )
 
-__all__ = ["handle_message", "handle_jsonl_connection", "serve_http", "serve_stdio"]
+__all__ = ["handle_message", "handle_jsonl_connection", "render_metrics", "serve_http", "serve_stdio"]
 
 #: error code -> HTTP status used by the HTTP adapter.
 ERROR_STATUS = {
@@ -188,17 +189,59 @@ async def serve_stdio(service: InferenceService) -> None:
 # ---------------------------------------------------------------------------
 
 
+_HTTP_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found", 429: "Too Many Requests",
+                 500: "Internal Server Error", 503: "Service Unavailable", 504: "Gateway Timeout"}
+
+
 def _http_response(status: int, payload: Dict) -> bytes:
-    reasons = {200: "OK", 400: "Bad Request", 404: "Not Found", 429: "Too Many Requests",
-               500: "Internal Server Error", 503: "Service Unavailable", 504: "Gateway Timeout"}
     body = json.dumps(payload).encode()
     head = (
-        f"HTTP/1.1 {status} {reasons.get(status, 'OK')}\r\n"
+        f"HTTP/1.1 {status} {_HTTP_REASONS.get(status, 'OK')}\r\n"
         f"Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: close\r\n\r\n"
     )
     return head.encode() + body
+
+
+def _http_text_response(status: int, text: str, content_type: str = "text/plain; version=0.0.4; charset=utf-8") -> bytes:
+    """Plain-text response (the Prometheus ``/metrics`` exposition body)."""
+    body = text.encode()
+    head = (
+        f"HTTP/1.1 {status} {_HTTP_REASONS.get(status, 'OK')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode() + body
+
+
+def render_metrics(service: InferenceService) -> str:
+    """The ``GET /metrics`` body: fold current state into the registry, render.
+
+    Pull-published: the service/engine/cache layers keep plain counters and
+    this scrape site flattens their snapshots into gauges, adds cache and
+    engine-lifecycle counters, folds in the kernel profiler, and renders
+    the Prometheus text format.  Metrics are observational only — nothing
+    here feeds back into serving.
+    """
+    from repro import telemetry
+    from repro.telemetry.metrics import publish_snapshot
+
+    registry = telemetry.get_registry()
+    publish_snapshot(registry, service.stats_snapshot(), prefix="repro_service")
+    cache = getattr(service, "cache", None)
+    counters = getattr(cache, "counters", None)
+    if callable(counters):
+        hits = registry.counter("repro_cache_hits_total", "Prediction cache hits")
+        misses = registry.counter("repro_cache_misses_total", "Prediction cache misses")
+        stores = registry.counter("repro_cache_stores_total", "Prediction cache stores")
+        stats = counters()
+        hits.set(stats.get("hits", 0), cache="prediction")
+        misses.set(stats.get("misses", 0), cache="prediction")
+        stores.set(stats.get("stores", 0), cache="prediction")
+    telemetry.get_profiler().publish(registry)
+    return registry.render_prometheus()
 
 
 async def _handle_http_connection(
@@ -236,6 +279,8 @@ async def _handle_http_connection(
 
         if method == "GET" and path == "/stats":
             response = _http_response(200, {"ok": True, "stats": service.stats_snapshot()})
+        elif method == "GET" and path == "/metrics":
+            response = _http_text_response(200, render_metrics(service))
         elif method == "GET" and path == "/healthz":
             response = _http_response(200, {"ok": True, "status": "serving"})
         elif method == "POST" and path == "/predict":

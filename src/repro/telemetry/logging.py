@@ -1,0 +1,122 @@
+"""Structured logging configured in exactly one place.
+
+Every diagnostic line the CLI and runners emit goes through one
+``"repro"`` logger hierarchy with a single stderr handler, so ``repro
+--log-level debug`` (and ``--log-json``) controls all of it — stdout
+stays reserved for results, tables and the JSON-lines transport.
+
+Two formats from the same call sites:
+
+* text (default): ``level component: event key=value ...``
+* JSON lines (``--log-json``): one object per line with ``level``,
+  ``logger``, ``event`` and the structured fields — machine-ingestable
+  without fragile text parsing.
+
+Use :func:`get_logger` and keyword fields::
+
+    log = get_logger("scenario")
+    log.info("event_fired", action="kill_shard", at_request=42)
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, Optional, TextIO
+
+__all__ = ["StructuredLogger", "configure_logging", "get_logger"]
+
+#: Root of the package's logger hierarchy.
+LOGGER_NAME = "repro"
+
+_FIELDS_ATTR = "repro_fields"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+
+class _TextFormatter(logging.Formatter):
+    def format(self, record: logging.LogRecord) -> str:
+        fields = getattr(record, _FIELDS_ATTR, None) or {}
+        suffix = "".join(f" {key}={value}" for key, value in fields.items())
+        name = record.name[len(LOGGER_NAME) + 1 :] if record.name.startswith(LOGGER_NAME + ".") else record.name
+        return f"{record.levelname.lower():<7s} {name}: {record.getMessage()}{suffix}"
+
+
+class _JsonFormatter(logging.Formatter):
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, _FIELDS_ATTR, None) or {}
+        for key, value in fields.items():
+            payload.setdefault(str(key), value)
+        return json.dumps(payload, default=str)
+
+
+class StructuredLogger:
+    """Thin keyword-fields front over one :class:`logging.Logger`."""
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    @property
+    def raw(self) -> logging.Logger:
+        return self._logger
+
+    def _log(self, level: int, event: str, fields: dict) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, event, extra={_FIELDS_ATTR: fields})
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._log(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._log(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._log(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._log(logging.ERROR, event, fields)
+
+
+def configure_logging(
+    level: str = "info",
+    json_lines: bool = False,
+    stream: Optional[TextIO] = None,
+) -> logging.Logger:
+    """(Re-)configure the ``repro`` logger; idempotent, the one config site.
+
+    Replaces any previous handler, so calling again (tests, embedded use)
+    never stacks duplicate output.  Returns the configured root logger.
+    """
+    if level not in _LEVELS:
+        raise ValueError(f"log level must be one of {sorted(_LEVELS)}, got {level!r}")
+    logger = logging.getLogger(LOGGER_NAME)
+    logger.setLevel(_LEVELS[level])
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(_JsonFormatter() if json_lines else _TextFormatter())
+    logger.addHandler(handler)
+    return logger
+
+
+def get_logger(name: Optional[str] = None) -> StructuredLogger:
+    """A structured logger under the ``repro`` hierarchy.
+
+    Safe before :func:`configure_logging`: an unconfigured hierarchy has
+    no handler and stays silent (library use never spams stderr).
+    """
+    full = LOGGER_NAME if not name else f"{LOGGER_NAME}.{name}"
+    return StructuredLogger(logging.getLogger(full))

@@ -43,6 +43,7 @@ PUBLIC_MODULES = [
     "repro.serve",
     "repro.scenarios",
     "repro.fabric",
+    "repro.telemetry",
     "repro.utils",
 ]
 
